@@ -1,0 +1,66 @@
+//! Fingerprint-index microbenchmarks: the FTL-resident metadata operations
+//! on the write path (Inline-Dedupe) and GC path (CAGC).
+
+use cagc_dedup::{ContentId, Fingerprint, FingerprintIndex};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn populated(n: u64) -> (FingerprintIndex, Vec<Fingerprint>) {
+    let mut ix = FingerprintIndex::new();
+    let mut fps = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let fp = Fingerprint::of_content(ContentId(i));
+        ix.insert(fp, i, (i % 4 + 1) as u32);
+        fps.push(fp);
+    }
+    (ix, fps)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_lookup");
+    for n in [1_000u64, 100_000, 1_000_000] {
+        let (mut ix, fps) = populated(n);
+        let miss = Fingerprint::of_content(ContentId(n + 1));
+        g.bench_with_input(BenchmarkId::new("hit", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 997) % fps.len();
+                ix.lookup(std::hint::black_box(&fps[i]))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("miss", n), &n, |b, _| {
+            b.iter(|| ix.lookup(std::hint::black_box(&miss)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert_release(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_mutation");
+    g.bench_function("insert_then_release_100k_base", |b| {
+        let (ix, _) = populated(100_000);
+        let fp = Fingerprint::of_content(ContentId(999_999_999));
+        b.iter_batched(
+            || ix.clone(),
+            |mut ix| {
+                ix.insert(fp, u64::MAX - 1, 1);
+                ix.release_ppn(u64::MAX - 1)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("relocate_100k_base", |b| {
+        let (ix, _) = populated(100_000);
+        b.iter_batched(
+            || ix.clone(),
+            |mut ix| {
+                ix.relocate(500, u64::MAX - 1);
+                ix
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_insert_release);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! One bench per paper table/figure: the core simulation loop behind each
+//! experiment, at a reduced size so `cargo bench` stays in CI budgets.
+//! (Full-scale regeneration is `cargo run --release -p cagc-bench --bin
+//! repro -- all`.)
+
+use cagc_core::{run_cell, Scheme, SsdConfig};
+use cagc_flash::UllConfig;
+use cagc_ftl::VictimKind;
+use cagc_workloads::{FiuWorkload, TraceProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tiny() -> UllConfig {
+    UllConfig::tiny_for_tests()
+}
+
+fn aged_trace(w: FiuWorkload, requests: usize) -> cagc_workloads::Trace {
+    let footprint = (tiny().logical_pages() as f64 * 0.95) as u64;
+    w.synth_config(footprint, requests, 7).generate()
+}
+
+/// Table II: the trace generator + analyzer pipeline.
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_generate_and_profile", |b| {
+        b.iter(|| {
+            let t = aged_trace(FiuWorkload::Mail, 5_000);
+            TraceProfile::of(std::hint::black_box(&t))
+        })
+    });
+}
+
+/// Fig. 2 core loop: fresh-device replay, Baseline vs Inline-Dedupe.
+fn bench_fig2(c: &mut Criterion) {
+    let footprint = (tiny().logical_pages() as f64 * 0.15) as u64;
+    let mut cfg = FiuWorkload::Homes.synth_config(footprint, 1_000, 7);
+    cfg.prefill_fraction = 0.5;
+    let trace = cfg.generate();
+    let mut g = c.benchmark_group("fig2_fresh_replay");
+    for scheme in [Scheme::Baseline, Scheme::InlineDedup] {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &trace, |b, t| {
+            b.iter(|| run_cell(SsdConfig::tiny(scheme), std::hint::black_box(t)))
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 6/9/10/11/12 core loop: aged replay per scheme (Fig. 6 reads the
+/// refcount stats, 9/10 the GC counters, 11/12 the latency records of the
+/// same runs).
+fn bench_aged_replay(c: &mut Criterion) {
+    let trace = aged_trace(FiuWorkload::Mail, 6_000);
+    let mut g = c.benchmark_group("fig9_10_11_12_aged_replay_mail");
+    g.sample_size(10);
+    for scheme in Scheme::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &trace, |b, t| {
+            b.iter(|| run_cell(SsdConfig::tiny(scheme), std::hint::black_box(t)))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 13 core loop: CAGC under each victim policy.
+fn bench_fig13(c: &mut Criterion) {
+    let trace = aged_trace(FiuWorkload::WebVm, 6_000);
+    let mut g = c.benchmark_group("fig13_policy_replay_webvm");
+    g.sample_size(10);
+    for policy in VictimKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &trace, |b, t| {
+            b.iter(|| {
+                let mut cfg = SsdConfig::tiny(Scheme::Cagc);
+                cfg.victim = policy;
+                run_cell(cfg, std::hint::black_box(t))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2, bench_fig2, bench_aged_replay, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Cost of one GC victim collection per scheme, on an identically aged
+//! device: the simulator-side work behind every point of Figs. 9-13.
+
+use cagc_core::{Scheme, Ssd, SsdConfig};
+use cagc_workloads::FiuWorkload;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+/// Build an aged SSD: replay enough traffic that the device is fragmented
+/// and victims are realistic.
+fn aged_ssd(scheme: Scheme) -> Ssd {
+    let cfg = SsdConfig::tiny(scheme);
+    let footprint = (cfg.flash.logical_pages() as f64 * 0.9) as u64;
+    let trace = FiuWorkload::WebVm.synth_config(footprint, 12_000, 3).generate();
+    let mut ssd = Ssd::new(cfg);
+    ssd.replay(&trace);
+    ssd
+}
+
+fn bench_gc_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gc_collect_one_victim");
+    g.sample_size(20);
+    for scheme in Scheme::ALL {
+        let ssd = aged_ssd(scheme);
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &ssd, |b, ssd| {
+            let mut t = 1u64 << 40;
+            b.iter_batched(
+                || ssd.clone(),
+                |mut ssd| {
+                    t += 10_000_000;
+                    ssd.force_gc(t)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gc_cycle);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N] CMD...
+//!
+//! CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13
+//!      ablate-placement ablate-overlap ablate-threshold ablate-watermark
+//!      all        (tables + every figure)
+//!      ablations  (every ablation)
+//! ```
+//!
+//! Text results go to stdout; CSV series are written under `--out`
+//! (default `results/`).
+
+use cagc_bench::experiments as exp;
+use cagc_bench::{Artifacts, Scale};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N] CMD...\n\
+         CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13\n\
+         \x20    ablate-placement ablate-overlap ablate-threshold ablate-watermark ablate-idle-gc\n\
+         \x20    all | ablations"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: VecDeque<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_scale();
+    let mut out_dir = PathBuf::from("results");
+    let mut cmds: Vec<String> = Vec::new();
+
+    while let Some(a) = args.pop_front() {
+        match a.as_str() {
+            "--scale" => match args.pop_front().as_deref() {
+                Some("quick") => scale = Scale::quick(),
+                Some("default") => scale = Scale::default_scale(),
+                Some("full") => scale = Scale::full(),
+                other => {
+                    eprintln!("unknown scale {other:?}");
+                    usage()
+                }
+            },
+            "--seed" => {
+                scale.seed = args
+                    .pop_front()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--workers" => {
+                scale.workers = args
+                    .pop_front()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out_dir = PathBuf::from(args.pop_front().unwrap_or_else(|| usage())),
+            "-h" | "--help" => usage(),
+            cmd if !cmd.starts_with('-') => cmds.push(cmd.to_string()),
+            _ => usage(),
+        }
+    }
+    if cmds.is_empty() {
+        usage();
+    }
+
+    // Expand meta-commands.
+    let mut expanded = Vec::new();
+    for c in cmds {
+        match c.as_str() {
+            "all" => expanded.extend(
+                ["table1", "table2", "fig2", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13"]
+                    .map(String::from),
+            ),
+            "ablations" => expanded.extend(
+                ["ablate-placement", "ablate-overlap", "ablate-threshold", "ablate-watermark", "ablate-idle-gc", "compare-inline", "sweep-utilization", "wear"]
+                    .map(String::from),
+            ),
+            _ => expanded.push(c),
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    println!(
+        "# CAGC repro | device {}GB | requests {} (Mail {}) | seed {}\n",
+        scale.device_gb, scale.requests, scale.mail_requests, scale.seed
+    );
+
+    // The aged grid is shared by fig6/9/10/11/12: run it lazily, once.
+    let mut aged: Option<exp::AgedResults> = None;
+    fn ensure_aged<'a>(
+        aged: &'a mut Option<exp::AgedResults>,
+        scale: &Scale,
+    ) -> &'a exp::AgedResults {
+        if aged.is_none() {
+            let t = Instant::now();
+            eprintln!("[aged grid: 3 workloads x 3 schemes ...]");
+            *aged = Some(exp::run_aged(scale));
+            eprintln!("[aged grid done in {:.1?}]", t.elapsed());
+        }
+        aged.as_ref().expect("just set")
+    }
+
+    for cmd in &expanded {
+        let t = Instant::now();
+        let art: Artifacts = match cmd.as_str() {
+            "table1" => exp::table1(&scale),
+            "table2" => exp::table2(&scale),
+            "fig2" => exp::fig2(&scale),
+            "fig6" => exp::fig6(ensure_aged(&mut aged, &scale)),
+            "fig9" => exp::fig9(ensure_aged(&mut aged, &scale)),
+            "fig10" => exp::fig10(ensure_aged(&mut aged, &scale)),
+            "fig11" => exp::fig11(ensure_aged(&mut aged, &scale)),
+            "fig12" => exp::fig12(ensure_aged(&mut aged, &scale)),
+            "fig13" => exp::fig13(&scale),
+            "ablate-placement" => exp::ablate_placement(&scale),
+            "ablate-overlap" => exp::ablate_overlap(&scale),
+            "ablate-threshold" => exp::ablate_threshold(&scale),
+            "ablate-watermark" => exp::ablate_watermark(&scale),
+            "ablate-idle-gc" => exp::ablate_idle_gc(&scale),
+            "compare-inline" => exp::compare_inline(&scale),
+            "sweep-utilization" => exp::sweep_utilization(&scale),
+            "wear" => exp::wear_study(&scale),
+            other => {
+                eprintln!("unknown command `{other}`");
+                usage()
+            }
+        };
+        println!("{}", art.text);
+        for (name, csv) in &art.csv {
+            let path = out_dir.join(name);
+            std::fs::write(&path, csv).expect("write CSV artifact");
+            println!("  -> {}", path.display());
+        }
+        println!("  [{cmd} in {:.1?}]\n", t.elapsed());
+    }
+}

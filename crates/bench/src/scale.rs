@@ -1,0 +1,99 @@
+//! Experiment scale presets.
+
+use cagc_flash::UllConfig;
+use cagc_workloads::FiuWorkload;
+
+/// How big the repro runs are. All figures are ratios; `EXPERIMENTS.md`
+/// records how stable they are across scales.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Device size in GB (Table I shape, scaled).
+    pub device_gb: u32,
+    /// Timed requests per workload.
+    pub requests: usize,
+    /// Timed requests for Mail (longer: its high dedup ratio needs more
+    /// volume to reach dedup steady state).
+    pub mail_requests: usize,
+    /// Base PRNG seed.
+    pub seed: u64,
+    /// Worker threads (0 = all cores).
+    pub workers: usize,
+}
+
+impl Scale {
+    /// Fast smoke scale (~15 s for the full figure set).
+    pub fn quick() -> Self {
+        Self { device_gb: 1, requests: 60_000, mail_requests: 120_000, seed: 7, workers: 0 }
+    }
+
+    /// The default reporting scale (used for EXPERIMENTS.md).
+    pub fn default_scale() -> Self {
+        Self { device_gb: 1, requests: 150_000, mail_requests: 300_000, seed: 7, workers: 0 }
+    }
+
+    /// Big: an 8 GB device and 4× the requests. Slower; shows scale
+    /// stability of the ratios.
+    pub fn full() -> Self {
+        Self { device_gb: 8, requests: 600_000, mail_requests: 1_200_000, seed: 7, workers: 0 }
+    }
+
+    /// The device configuration at this scale.
+    pub fn flash(&self) -> UllConfig {
+        UllConfig::scaled_gb(self.device_gb)
+    }
+
+    /// Timed requests for a workload.
+    pub fn requests_for(&self, w: FiuWorkload) -> usize {
+        match w {
+            FiuWorkload::Mail => self.mail_requests,
+            _ => self.requests,
+        }
+    }
+
+    /// Calibrated trace footprint (fraction of the logical space the
+    /// workload addresses) for the aged-device experiments. The FIU traces
+    /// have distinct footprints; these are calibrated so each baseline
+    /// runs at the paper's GC intensity (see DESIGN.md §4).
+    pub fn footprint_frac(&self, w: FiuWorkload) -> f64 {
+        match w {
+            FiuWorkload::Homes => 0.97,
+            FiuWorkload::WebVm => 0.95,
+            FiuWorkload::Mail => 0.95,
+        }
+    }
+
+    /// Logical pages the aged-device trace for `w` addresses.
+    pub fn footprint_pages(&self, w: FiuWorkload) -> u64 {
+        (self.flash().logical_pages() as f64 * self.footprint_frac(w)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let q = Scale::quick();
+        let d = Scale::default_scale();
+        let f = Scale::full();
+        assert!(q.requests < d.requests && d.requests < f.requests);
+        assert!(f.device_gb > d.device_gb);
+    }
+
+    #[test]
+    fn mail_runs_longer() {
+        let s = Scale::default_scale();
+        assert!(s.requests_for(FiuWorkload::Mail) > s.requests_for(FiuWorkload::Homes));
+    }
+
+    #[test]
+    fn footprints_leave_op_headroom() {
+        let s = Scale::default_scale();
+        for w in FiuWorkload::ALL {
+            let frac = s.footprint_frac(w);
+            assert!(frac > 0.9 && frac < 1.0, "{}: {frac}", w.name());
+            assert!(s.footprint_pages(w) < s.flash().logical_pages());
+        }
+    }
+}

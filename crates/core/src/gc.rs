@@ -1,0 +1,315 @@
+//! Garbage collection engines: the blind migrator and the content-aware one.
+//!
+//! This module implements the workflow of Fig. 5:
+//!
+//! 1. the watermark trigger fires (`Ssd::maybe_gc`);
+//! 2. a victim is selected by the configured policy;
+//! 3. valid pages are read out; under **CAGC** each page is fingerprinted
+//!    on the hash engine *in parallel* with die work (reads of later pages,
+//!    programs, the previous victim's erase) and probed in the fingerprint
+//!    index: a hit absorbs the page into the existing stored copy
+//!    (metadata-only — the redundant write is eliminated), a miss programs
+//!    it into a region chosen by its reference count (Sec. III-C);
+//! 4. the victim is erased once its last valid page is safely elsewhere,
+//!    and the next victim's migration overlaps the erase.
+//!
+//! Baseline and Inline-Dedupe use the blind migrator: every valid page is
+//! copied, no content processing (Inline-Dedupe already deduplicated on the
+//! write path, so its GC never sees redundant pages).
+
+use cagc_dedup::Fingerprint;
+use cagc_flash::{BlockId, PageState, Ppn};
+use cagc_ftl::{Region, VictimCandidate};
+use cagc_sim::time::Nanos;
+
+use crate::config::Scheme;
+use crate::ssd::Ssd;
+
+impl Ssd {
+    /// Run GC if the free-space watermark demands it. Returns when the
+    /// round's *space reclamation* is complete (the last erase): free
+    /// blocks exist logically as soon as this returns, so the foreground
+    /// proceeds immediately — GC interference reaches user requests through
+    /// die contention (reads/programs/erases reserved on the die timelines),
+    /// which is exactly how GC hurts foreground I/O in a real SSD and the
+    /// effect Figs. 11/12 measure.
+    pub(crate) fn maybe_gc(&mut self, now: Nanos) -> Nanos {
+        if !self.trigger.should_start(self.alloc.free_fraction()) {
+            return now;
+        }
+        self.gc_stats.invocations += 1;
+        // `cursor` is when the next victim's migration may start;
+        // `round_end` tracks the last erase completion. Migration of victim
+        // k+1 overlaps the erase of victim k (Sec. III-B parallelism) —
+        // per-die timelines serialize same-die conflicts automatically.
+        // At the default of one victim per trigger the overlap happens
+        // across consecutive triggers through the same die timelines.
+        let mut cursor = now;
+        let mut round_end = now;
+        let mut victims = 0u32;
+        let mut stalls = 0u32;
+        while victims < self.cfg.gc_victims_per_trigger
+            && self.trigger.should_start(self.alloc.free_fraction())
+        {
+            let Some(victim) = self.select_victim(cursor) else { break };
+            let free_before = self.alloc.free_blocks();
+            let (migrated_done, erase_end) = self.collect_victim(victim, cursor);
+            victims += 1;
+            cursor = migrated_done;
+            round_end = round_end.max(erase_end);
+            // Safety valve: a victim so full of valid pages that migrating
+            // it consumed as many blocks as it freed makes no net progress;
+            // two such victims in a row means the device is effectively out
+            // of reclaimable space for this round.
+            if self.alloc.free_blocks() <= free_before {
+                stalls += 1;
+                if stalls >= 2 {
+                    break;
+                }
+            } else {
+                stalls = 0;
+            }
+        }
+        self.gc_stats.busy_ns += round_end.saturating_sub(now);
+        self.gc_active_until = self.gc_active_until.max(round_end);
+        round_end
+    }
+
+    /// Background GC inside an idle window (enabled by
+    /// [`crate::SsdConfig::idle_gc`]). If the gap between the previous
+    /// request's completion and this arrival exceeds the idle threshold
+    /// and free space sits below the high watermark, victims are collected
+    /// on the *idle window's* clock — their die reservations largely drain
+    /// before the new request arrives, so the foreground barely notices.
+    pub(crate) fn maybe_idle_gc(&mut self, arrival: Nanos) {
+        if !self.cfg.idle_gc {
+            return;
+        }
+        let idle_start = self.last_completion();
+        let mut t = idle_start.saturating_add(self.cfg.idle_threshold_ns);
+        if arrival <= t {
+            return; // not idle long enough
+        }
+        while t < arrival && self.alloc.free_fraction() < self.cfg.gc_high {
+            let before = self.alloc.free_blocks();
+            t = self.force_gc(t);
+            if self.alloc.free_blocks() <= before {
+                break; // nothing reclaimable
+            }
+        }
+    }
+
+    /// Collect one victim right now, regardless of the watermark. Returns
+    /// the erase completion time (or `now` if no block is reclaimable).
+    ///
+    /// Foreground-triggered GC goes through the watermark path
+    /// automatically during [`Ssd::process`]; this entry point exists for
+    /// scripted scenarios, tests and idle-time collection policies built
+    /// on top of the simulator.
+    pub fn force_gc(&mut self, now: Nanos) -> Nanos {
+        let Some(victim) = self.select_victim(now) else { return now };
+        self.gc_stats.invocations += 1;
+        let (_, erase_end) = self.collect_victim(victim, now);
+        self.gc_stats.busy_ns += erase_end.saturating_sub(now);
+        self.gc_active_until = self.gc_active_until.max(erase_end);
+        erase_end
+    }
+
+    /// Snapshot candidates and ask the policy. Open frontiers, free blocks
+    /// and blocks with nothing invalid are never victims.
+    fn select_victim(&mut self, now: Nanos) -> Option<BlockId> {
+        let mut candidates = Vec::new();
+        for b in 0..self.dev.block_count() {
+            if self.alloc.is_open(b) {
+                continue;
+            }
+            let blk = self.dev.block(b);
+            if blk.is_free() || blk.invalid_count() == 0 {
+                continue;
+            }
+            candidates.push(VictimCandidate {
+                block: b,
+                valid: blk.valid_count(),
+                invalid: blk.invalid_count(),
+                pages: blk.pages(),
+                erase_count: blk.erase_count(),
+                last_modified: blk.last_modified(),
+            });
+        }
+        self.selector.select(&candidates, now)
+    }
+
+    /// Collect one victim. Returns `(migration_done, erase_end)`:
+    /// the erase is issued at `migration_done` and the *next* victim may
+    /// start migrating immediately while it runs.
+    fn collect_victim(&mut self, victim: BlockId, t: Nanos) -> (Nanos, Nanos) {
+        let geom = *self.dev.geometry();
+        let valids: Vec<Ppn> = self
+            .dev
+            .block(victim)
+            .valid_pages()
+            .map(|p| geom.ppn(victim, p))
+            .collect();
+
+        let done = match self.cfg.scheme {
+            Scheme::Baseline | Scheme::InlineDedup | Scheme::InlineSampled => {
+                self.migrate_blind(&valids, t)
+            }
+            Scheme::Cagc => self.migrate_content_aware(victim, &valids, t),
+        };
+        let erase = self.dev.erase(victim, done);
+        self.alloc.release(victim);
+        self.gc_stats.blocks_erased += 1;
+        (done, erase.end)
+    }
+
+    /// Blind migration: read + rewrite every valid page (Fig. 3).
+    fn migrate_blind(&mut self, valids: &[Ppn], t: Nanos) -> Nanos {
+        let mut done = t;
+        for &ppn in valids {
+            self.gc_stats.pages_scanned += 1;
+            let r = self.dev.read(ppn, t);
+            let (end, _) = self.relocate_page(ppn, Region::Hot, r.end);
+            self.gc_stats.pages_migrated += 1;
+            done = done.max(end);
+        }
+        done
+    }
+
+    /// Content-aware migration (Fig. 5): hash each valid page on the hash
+    /// engine, probe the index, and either absorb (hit) or place by
+    /// reference count (miss / stored copy).
+    fn migrate_content_aware(&mut self, victim: BlockId, valids: &[Ppn], t: Nanos) -> Nanos {
+        let mut done = t;
+        let mut read_ready = t;
+        for &ppn in valids {
+            // A promotion earlier in this pass may have already drained
+            // this page (its stored copy lived later in the same victim).
+            if self.dev.page_state(ppn) != PageState::Valid {
+                continue;
+            }
+            self.gc_stats.pages_scanned += 1;
+            let r = self.dev.read(ppn, read_ready);
+            // Fingerprint on the dedicated engine. With overlap enabled the
+            // engine runs beside the dies; the ablation serializes the
+            // pipeline by stalling the next read until the hash finishes.
+            let h = self.hash.hash_page(r.end);
+            if !self.cfg.overlap_hash {
+                read_ready = h.end;
+            }
+            let decided = h.end + self.cfg.lookup_ns;
+            let content = self.content_at(ppn);
+            let fp = Fingerprint::of_content(content);
+
+            let end = match self.index.lookup(&fp) {
+                Some(entry) if entry.ppn != ppn => {
+                    // Redundant page: the content already has a stored copy
+                    // elsewhere. Absorb all sharers — no flash write.
+                    self.gc_stats.dedup_hits += 1;
+                    self.absorb_into(ppn, entry.ppn, &fp, decided)
+                }
+                Some(entry) => {
+                    // This page *is* the stored copy: migrate it, choosing
+                    // the region by its current reference count.
+                    let dest = self.region_for_refs(entry.refs);
+                    let src = self.alloc.region_of(victim).unwrap_or(Region::Hot);
+                    let (end, _) = self.relocate_page(ppn, dest, decided);
+                    self.gc_stats.pages_migrated += 1;
+                    match (src, dest) {
+                        (Region::Hot, Region::Cold) => self.gc_stats.promotions += 1,
+                        (Region::Cold, Region::Hot) => self.gc_stats.demotions += 1,
+                        _ => {}
+                    }
+                    end
+                }
+                None => {
+                    // First time this content passes through GC: fingerprint
+                    // it into the index and place it (a single sharer ⇒ hot).
+                    let sharers = self.rmap.count(ppn) as u32;
+                    debug_assert!(sharers >= 1, "valid page with no sharers");
+                    let dest = self.region_for_refs(sharers);
+                    let (end, new_ppn) = self.relocate_page(ppn, dest, decided);
+                    self.index.insert(fp, new_ppn, sharers);
+                    self.gc_stats.pages_migrated += 1;
+                    end
+                }
+            };
+            done = done.max(end);
+        }
+        done
+    }
+
+    /// Sec. III-C placement rule: refcount above the threshold ⇒ cold.
+    fn region_for_refs(&self, refs: u32) -> Region {
+        if self.cfg.placement && refs > self.cfg.cold_threshold {
+            Region::Cold
+        } else {
+            Region::Hot
+        }
+    }
+
+    /// Dedup hit during migration: remap every sharer of `from` onto the
+    /// stored copy at `to`, bump its refcount, and invalidate `from`
+    /// without a write. May then *promote* the stored copy to the cold
+    /// region if the merge pushed its refcount across the threshold
+    /// (Fig. 5's "Ref == threshold?" branch). Returns the completion time.
+    fn absorb_into(&mut self, from: Ppn, to: Ppn, fp: &Fingerprint, now: Nanos) -> Nanos {
+        let sharers = self.rmap.take(from);
+        debug_assert!(!sharers.is_empty(), "absorbing a page with no sharers");
+        let n = sharers.len() as u32;
+        for &l in &sharers {
+            self.map.set(l, to);
+            self.rmap.add(to, l);
+        }
+        let new_refs = self.index.add_refs(fp, n);
+        self.dev.invalidate(from, now);
+
+        // Promotion: the stored copy lives in a hot-region block but its
+        // refcount now exceeds the threshold — move it cold as part of this
+        // GC pass. Two exclusions keep this from wasting writes: a copy
+        // still sitting in an *open* frontier was programmed moments ago
+        // (typically by this very GC pass — rewriting it immediately would
+        // be pure churn; it will be placed cold when its block is
+        // collected), and a copy inside the current victim will be
+        // migrated, with the correct region, when its turn comes.
+        let stored_block = self.dev.geometry().block_of(to);
+        if self.cfg.placement
+            && new_refs > self.cfg.cold_threshold
+            && self.alloc.region_of(stored_block) == Some(Region::Hot)
+            && !self.alloc.is_open(stored_block)
+        {
+            let r = self.dev.read(to, now);
+            let (end, _) = self.relocate_page(to, Region::Cold, r.end);
+            self.gc_stats.pages_migrated += 1;
+            self.gc_stats.promotions += 1;
+            return end;
+        }
+        now
+    }
+
+    /// Move one valid page to the `dest` frontier: program a copy, remap
+    /// every sharer, carry index/content metadata, and invalidate the
+    /// source. Returns the program completion time and the new PPN.
+    fn relocate_page(&mut self, ppn: Ppn, dest: Region, ready: Nanos) -> (Nanos, Ppn) {
+        let block = self.alloc.alloc_page(dest, true).unwrap_or_else(|| {
+            panic!(
+                "GC allocation failed with {} free blocks — reserve {} exhausted",
+                self.alloc.free_blocks(),
+                self.alloc.gc_reserve()
+            )
+        });
+        let (w, new_ppn) = self.dev.program_next(block, ready);
+        let sharers = self.rmap.take(ppn);
+        debug_assert!(!sharers.is_empty(), "relocating an unreferenced page");
+        for &l in &sharers {
+            self.map.set(l, new_ppn);
+            self.rmap.add(new_ppn, l);
+        }
+        if self.index.fp_of_ppn(ppn).is_some() {
+            self.index.relocate(ppn, new_ppn);
+        }
+        self.content_of[new_ppn as usize] = self.content_of[ppn as usize];
+        self.dev.invalidate(ppn, w.end);
+        (w.end, new_ppn)
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-run result report: everything the paper's figures are built from.
+
+use cagc_dedup::IndexStats;
+use cagc_ftl::GcStats;
+use cagc_metrics::{Cdf, Histogram};
+use cagc_sim::time::{fmt_duration, Nanos};
+
+/// Latency distribution summary for one request class.
+#[derive(Debug, Clone)]
+pub struct LatencySummary {
+    /// Number of requests.
+    pub count: u64,
+    /// Mean response time.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile (tail, Fig. 12's regime).
+    pub p999_ns: u64,
+    /// Worst case.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarize a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.quantile(0.50),
+            p90_ns: h.quantile(0.90),
+            p99_ns: h.quantile(0.99),
+            p999_ns: h.quantile(0.999),
+            max_ns: h.max(),
+        }
+    }
+
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "n={} mean={} p50={} p90={} p99={} p99.9={} max={}",
+            self.count,
+            fmt_duration(self.mean_ns as u64),
+            fmt_duration(self.p50_ns),
+            fmt_duration(self.p90_ns),
+            fmt_duration(self.p99_ns),
+            fmt_duration(self.p999_ns),
+            fmt_duration(self.max_ns),
+        )
+    }
+}
+
+/// Full report of one trace replay on one configured SSD.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scheme name ("Baseline" / "Inline-Dedupe" / "CAGC").
+    pub scheme: String,
+    /// Victim policy name.
+    pub victim: String,
+    /// Workload name.
+    pub workload: String,
+
+    /// All-request latency summary (the Fig. 2 / Fig. 11 metric).
+    pub all: LatencySummary,
+    /// Read-only latency summary.
+    pub reads: LatencySummary,
+    /// Write-only latency summary.
+    pub writes: LatencySummary,
+    /// Latency of requests arriving while a GC round was in flight — the
+    /// "response times during the SSD GC periods" that Fig. 11 averages.
+    pub during_gc: LatencySummary,
+    /// Response-time CDF over all requests (Fig. 12).
+    pub cdf: Cdf,
+
+    /// GC counters (Figs. 9, 10, 13).
+    pub gc: GcStats,
+    /// Fingerprint index traffic (dedup hits, probes).
+    pub index: IndexStats,
+    /// Fig. 6 buckets: invalidations by peak refcount {1,2,3,>3}.
+    pub invalidation_by_refcount: [u64; 4],
+
+    /// Host pages written (user write traffic in pages).
+    pub host_pages_written: u64,
+    /// Flash page programs serving the foreground (excludes GC migration).
+    pub user_programs: u64,
+    /// All flash page programs (foreground + migration).
+    pub total_programs: u64,
+    /// All flash block erases (foreground GC; equals `gc.blocks_erased`).
+    pub total_erases: u64,
+    /// Reads of unmapped LPNs (served from the controller).
+    pub read_misses: u64,
+    /// Trim requests processed.
+    pub trims: u64,
+
+    /// Wear: (min, max, mean) erase count across blocks.
+    pub wear: (u32, u32, f64),
+    /// Standard deviation of per-block erase counts (wear evenness).
+    pub wear_stddev: f64,
+    /// Die utilization over the run: (min, max, mean) busy fraction across
+    /// dies — how well the workload + FTL exploited device parallelism.
+    pub die_utilization: (f64, f64, f64),
+    /// When the last request completed.
+    pub end_ns: Nanos,
+}
+
+impl RunReport {
+    /// The Fig. 11 metric: mean response time during GC periods, falling
+    /// back to the overall mean when the run never triggered GC.
+    pub fn gc_period_mean_ns(&self) -> f64 {
+        if self.during_gc.count > 0 {
+            self.during_gc.mean_ns
+        } else {
+            self.all.mean_ns
+        }
+    }
+
+    /// Write amplification factor: total flash programs per host page
+    /// written. Below 1.0 is possible with dedup (redundant host pages are
+    /// never programmed).
+    pub fn waf(&self) -> f64 {
+        if self.host_pages_written == 0 {
+            0.0
+        } else {
+            self.total_programs as f64 / self.host_pages_written as f64
+        }
+    }
+
+    /// Multi-line human rendering used by examples and the harness.
+    pub fn render(&self) -> String {
+        let fig6 = {
+            let total: u64 = self.invalidation_by_refcount.iter().sum();
+            if total == 0 {
+                "n/a".to_string()
+            } else {
+                let f = self.invalidation_by_refcount.map(|b| b as f64 / total as f64 * 100.0);
+                format!("ref1 {:.1}% / ref2 {:.1}% / ref3 {:.1}% / ref>3 {:.1}%", f[0], f[1], f[2], f[3])
+            }
+        };
+        format!(
+            "{} on {} (victim: {})\n\
+             \x20 latency  : {}\n\
+             \x20 reads    : {}\n\
+             \x20 writes   : {}\n\
+             \x20 during GC: {}\n\
+             \x20 GC       : {} rounds, {} blocks erased, {} pages migrated, {} scanned, {} dedup hits\n\
+             \x20 placement: {} promotions, {} demotions\n\
+             \x20 traffic  : {} host pages, {} user programs, {} total programs (WAF {:.3})\n\
+             \x20 invalidations by refcount: {}\n\
+             \x20 wear     : erase min {} / max {} / mean {:.2} / stddev {:.2}\n\
+             \x20 dies     : utilization min {:.1}% / max {:.1}% / mean {:.1}%",
+            self.scheme,
+            self.workload,
+            self.victim,
+            self.all.render(),
+            self.reads.render(),
+            self.writes.render(),
+            self.during_gc.render(),
+            self.gc.invocations,
+            self.gc.blocks_erased,
+            self.gc.pages_migrated,
+            self.gc.pages_scanned,
+            self.gc.dedup_hits,
+            self.gc.promotions,
+            self.gc.demotions,
+            self.host_pages_written,
+            self.user_programs,
+            self.total_programs,
+            self.waf(),
+            fig6,
+            self.wear.0,
+            self.wear.1,
+            self.wear.2,
+            self.wear_stddev,
+            self.die_utilization.0 * 100.0,
+            self.die_utilization.1 * 100.0,
+            self.die_utilization.2 * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_from_histogram() {
+        let mut h = Histogram::new();
+        for v in [10_000u64, 20_000, 30_000, 40_000, 1_000_000] {
+            h.record(v);
+        }
+        let s = LatencySummary::of(&h);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.max_ns, 1_000_000);
+        assert!(s.p50_ns >= 20_000 && s.p50_ns <= 32_000);
+        assert!(s.render().contains("n=5"));
+    }
+
+    #[test]
+    fn waf_handles_empty_run() {
+        let mut h = Histogram::new();
+        h.record(1);
+        let r = RunReport {
+            scheme: "Baseline".into(),
+            victim: "Greedy".into(),
+            workload: "t".into(),
+            all: LatencySummary::of(&h),
+            reads: LatencySummary::of(&h),
+            writes: LatencySummary::of(&h),
+            during_gc: LatencySummary::of(&Histogram::new()),
+            cdf: Cdf::from_histogram(&h),
+            gc: GcStats::default(),
+            index: IndexStats::default(),
+            invalidation_by_refcount: [0; 4],
+            host_pages_written: 0,
+            user_programs: 0,
+            total_programs: 0,
+            total_erases: 0,
+            read_misses: 0,
+            trims: 0,
+            wear: (0, 0, 0.0),
+            wear_stddev: 0.0,
+            die_utilization: (0.0, 0.0, 0.0),
+            end_ns: 0,
+        };
+        assert_eq!(r.waf(), 0.0);
+        assert!(r.render().contains("Baseline"));
+    }
+}

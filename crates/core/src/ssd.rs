@@ -1,0 +1,483 @@
+//! The simulated SSD: foreground I/O path for all three schemes.
+//!
+//! One [`Ssd`] wires the substrates together — flash device, mapping,
+//! reverse map, allocator, fingerprint index, hash engine, victim selector —
+//! and services a trace request-by-request. The scheme
+//! ([`crate::config::Scheme`]) decides *where* deduplication happens:
+//!
+//! * **Baseline** — writes program flash directly; GC migrates blindly.
+//! * **Inline-Dedupe** — every written page first occupies the hash engine
+//!   (14 µs, Table I) and probes the fingerprint index *on the critical
+//!   path*; redundant pages become metadata updates, unique pages program
+//!   after the hash completes. This is the scheme the paper shows hurting
+//!   ultra-low-latency devices (Fig. 2).
+//! * **CAGC** — the foreground path is as fast as Baseline; fingerprinting
+//!   happens during GC migration (see [`crate::gc`]), overlapped with die
+//!   work, with reference-count-based hot/cold placement.
+//!
+//! The GC engine lives in [`crate::gc`]; this module owns the foreground
+//! semantics, the invalidation/reference-count bookkeeping shared by both,
+//! and the trace replay loop.
+
+use cagc_dedup::{ContentId, Fingerprint, FingerprintIndex, HashEngine};
+use cagc_flash::{FlashDevice, Ppn};
+use cagc_ftl::{
+    Allocator, GcStats, GcTrigger, Lpn, MappingTable, Region, ReverseMap, VictimSelector,
+};
+use cagc_metrics::{Cdf, Histogram};
+use cagc_sim::time::Nanos;
+use cagc_workloads::{OpKind, Request, Trace};
+
+use crate::config::{Scheme, SsdConfig};
+use crate::report::{LatencySummary, RunReport};
+
+/// Sentinel for "no content recorded" in the per-PPN content table.
+const NO_CONTENT: u64 = u64::MAX;
+
+/// A fully-assembled simulated SSD running one scheme.
+///
+/// `Clone` snapshots the complete device state (blocks, mapping, index,
+/// timelines, statistics) — useful for benchmarks and what-if forks.
+#[derive(Clone)]
+pub struct Ssd {
+    pub(crate) cfg: SsdConfig,
+    pub(crate) dev: FlashDevice,
+    pub(crate) map: MappingTable,
+    pub(crate) rmap: ReverseMap,
+    pub(crate) alloc: Allocator,
+    pub(crate) index: FingerprintIndex,
+    pub(crate) hash: HashEngine,
+    pub(crate) selector: VictimSelector,
+    pub(crate) trigger: GcTrigger,
+    pub(crate) gc_stats: GcStats,
+    /// Content stored at each PPN (`NO_CONTENT` when free/stale).
+    pub(crate) content_of: Vec<u64>,
+    /// Pre-hashes of stored pages (Inline-Sampled only): membership means
+    /// "a page with this cheap hash has been stored before, a new write
+    /// matching it is worth a full fingerprint". Conservative — entries
+    /// are not removed on invalidation, so stale entries cost an extra
+    /// full hash, never a missed duplicate among fingerprinted pages.
+    prehash_filter: std::collections::HashSet<u32>,
+
+    lat_all: Histogram,
+    lat_read: Histogram,
+    lat_write: Histogram,
+    lat_during_gc: Histogram,
+    /// Requests arriving before this instant fall inside an active GC
+    /// round ("GC periods", the regime Fig. 11 averages over).
+    pub(crate) gc_active_until: Nanos,
+    host_pages_written: u64,
+    pub(crate) user_programs: u64,
+    read_misses: u64,
+    trims: u64,
+    end_ns: Nanos,
+}
+
+impl Ssd {
+    /// Build an SSD from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`SsdConfig::validate`].
+    pub fn new(cfg: SsdConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SsdConfig: {e}");
+        }
+        let geom = cfg.flash.geometry();
+        let dev = FlashDevice::new(geom, cfg.flash.timing());
+        let logical = cfg.flash.logical_pages();
+        // Interleave the free pool across dies so consecutive frontier
+        // blocks (writes, migrations, erases) exploit die parallelism.
+        let order =
+            Allocator::die_interleaved_order(geom.total_blocks(), geom.blocks_per_die());
+        Self {
+            map: MappingTable::new(logical),
+            rmap: ReverseMap::new(),
+            alloc: Allocator::with_block_order(order, geom.pages_per_block, cfg.gc_reserve_blocks),
+            index: FingerprintIndex::new(),
+            hash: HashEngine::new(cfg.flash.hash_ns),
+            selector: VictimSelector::new(cfg.victim, cfg.victim_seed),
+            trigger: GcTrigger::new(cfg.gc_low, cfg.gc_high),
+            gc_stats: GcStats::default(),
+            content_of: vec![NO_CONTENT; geom.total_pages() as usize],
+            prehash_filter: std::collections::HashSet::new(),
+            lat_all: Histogram::new(),
+            lat_read: Histogram::new(),
+            lat_write: Histogram::new(),
+            lat_during_gc: Histogram::new(),
+            gc_active_until: 0,
+            host_pages_written: 0,
+            user_programs: 0,
+            read_misses: 0,
+            trims: 0,
+            end_ns: 0,
+            dev,
+            cfg,
+        }
+    }
+
+    /// Host-visible logical capacity in pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.map.logical_pages()
+    }
+
+    /// The configuration this SSD runs.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Accumulated GC statistics.
+    pub fn gc_stats(&self) -> &GcStats {
+        &self.gc_stats
+    }
+
+    /// The flash device (read-only view, for assertions and reports).
+    pub fn device(&self) -> &FlashDevice {
+        &self.dev
+    }
+
+    /// When the most recent request completed (0 before any request).
+    pub fn last_completion(&self) -> Nanos {
+        self.end_ns
+    }
+
+    /// Process one request arriving at its timestamp; returns its
+    /// completion time. Requests must be fed in nondecreasing time order
+    /// (as [`Trace`] guarantees).
+    pub fn process(&mut self, req: &Request) -> Nanos {
+        let at = req.at_ns;
+        self.maybe_idle_gc(at);
+        let completion = match req.kind {
+            OpKind::Read => {
+                let mut done = at;
+                for lpn in req.lpns() {
+                    done = done.max(self.read_page(lpn, at));
+                }
+                done
+            }
+            OpKind::Write => {
+                // Check the watermark once per request. GC reserves die
+                // time; this write then contends with it on the timelines
+                // (it does not wait for the whole round — space exists as
+                // soon as maybe_gc returns).
+                self.maybe_gc(at);
+                self.host_pages_written += req.pages as u64;
+                // Pages of one request are processed in order by the FTL
+                // datapath: page i+1 starts when page i completes. (For
+                // Baseline/CAGC this matches the per-die serialization of
+                // the shared frontier; for Inline-Dedupe it puts every
+                // page's hash+lookup on the request's critical path.)
+                let mut ready = at;
+                for (i, lpn) in req.lpns().enumerate() {
+                    ready = self.write_page(lpn, req.contents[i], ready);
+                }
+                ready
+            }
+            OpKind::Trim => {
+                self.trims += 1;
+                for lpn in req.lpns() {
+                    self.release_lpn(lpn, at);
+                }
+                at + self.cfg.lookup_ns
+            }
+        };
+        let latency = completion - at;
+        self.lat_all.record(latency);
+        if at <= self.gc_active_until {
+            // Arrived while a GC round was in flight: part of the "GC
+            // period" population Fig. 11 averages over.
+            self.lat_during_gc.record(latency);
+        }
+        match req.kind {
+            OpKind::Read => self.lat_read.record(latency),
+            OpKind::Write => self.lat_write.record(latency),
+            OpKind::Trim => {}
+        }
+        self.end_ns = self.end_ns.max(completion);
+        completion
+    }
+
+    /// Replay a whole trace and produce the run report.
+    ///
+    /// # Panics
+    /// Panics if the trace addresses more logical pages than the device
+    /// exports.
+    pub fn replay(&mut self, trace: &Trace) -> RunReport {
+        assert!(
+            trace.logical_pages <= self.logical_pages(),
+            "trace needs {} logical pages, device exports {}",
+            trace.logical_pages,
+            self.logical_pages()
+        );
+        for req in &trace.requests {
+            self.process(req);
+        }
+        self.report(&trace.name)
+    }
+
+    /// Snapshot the report under the given workload name.
+    pub fn report(&self, workload: &str) -> RunReport {
+        RunReport {
+            scheme: self.cfg.scheme.name().to_string(),
+            victim: self.cfg.victim.name().to_string(),
+            workload: workload.to_string(),
+            all: LatencySummary::of(&self.lat_all),
+            reads: LatencySummary::of(&self.lat_read),
+            writes: LatencySummary::of(&self.lat_write),
+            during_gc: LatencySummary::of(&self.lat_during_gc),
+            cdf: Cdf::from_histogram(&self.lat_all),
+            gc: self.gc_stats,
+            index: self.index.stats(),
+            invalidation_by_refcount: self.index.ref_stats().buckets(),
+            host_pages_written: self.host_pages_written,
+            user_programs: self.user_programs,
+            total_programs: self.dev.stats().programs,
+            total_erases: self.dev.stats().erases,
+            read_misses: self.read_misses,
+            trims: self.trims,
+            wear: self.dev.wear_summary(),
+            wear_stddev: self.dev.wear_stddev(),
+            die_utilization: self.die_utilization(),
+            end_ns: self.end_ns,
+        }
+    }
+
+    /// (min, max, mean) busy fraction across dies, over `[0, end_ns]`.
+    fn die_utilization(&self) -> (f64, f64, f64) {
+        if self.end_ns == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let totals = self.dev.die_busy_totals();
+        let horizon = self.end_ns as f64;
+        let fracs: Vec<f64> =
+            totals.iter().map(|&b| (b as f64 / horizon).min(1.0)).collect();
+        let mean = fracs.iter().sum::<f64>() / fracs.len().max(1) as f64;
+        let min = fracs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = fracs.iter().cloned().fold(0.0f64, f64::max);
+        (if min.is_finite() { min } else { 0.0 }, max, mean)
+    }
+
+    // ---------------- page-level foreground operations ----------------
+
+    fn read_page(&mut self, lpn: Lpn, ready: Nanos) -> Nanos {
+        match self.map.get(lpn) {
+            Some(ppn) => self.dev.read(ppn, ready).end,
+            None => {
+                self.read_misses += 1;
+                ready + self.cfg.read_miss_ns
+            }
+        }
+    }
+
+    fn write_page(&mut self, lpn: Lpn, content: ContentId, ready: Nanos) -> Nanos {
+        match self.cfg.scheme {
+            Scheme::Baseline | Scheme::Cagc => {
+                // Fast path: no content processing before the program.
+                self.release_lpn(lpn, ready);
+                let (end, ppn) = self.program_foreground(ready);
+                self.bind(lpn, ppn, content);
+                end
+            }
+            Scheme::InlineDedup => self.write_page_inline(lpn, content, ready),
+            Scheme::InlineSampled => self.write_page_sampled(lpn, content, ready),
+        }
+    }
+
+    /// The CAFTL-style sampled write path: a cheap pre-hash screens the
+    /// page; only pre-hash matches (possible duplicates) pay the full
+    /// fingerprint + lookup. First sightings are stored unfingerprinted.
+    fn write_page_sampled(&mut self, lpn: Lpn, content: ContentId, ready: Nanos) -> Nanos {
+        let screened = ready + self.cfg.prehash_ns;
+        let pre = Self::prehash(content);
+        if self.prehash_filter.contains(&pre) {
+            // Possible duplicate: full inline-dedup path (hash + probe).
+            // An index miss here still inserts the fingerprint, so the
+            // third and later copies of this content deduplicate.
+            self.write_page_inline(lpn, content, screened)
+        } else {
+            self.prehash_filter.insert(pre);
+            self.release_lpn(lpn, screened);
+            let (end, ppn) = self.program_foreground(screened);
+            self.bind(lpn, ppn, content);
+            end
+        }
+    }
+
+    /// The cheap 32-bit pre-hash (stands in for a controller CRC of the
+    /// page's first bytes; collisions across distinct contents are rare
+    /// but possible, costing a spurious full hash — exactly CAFTL's
+    /// false-positive behaviour).
+    fn prehash(content: ContentId) -> u32 {
+        let x = content.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (x >> 32) as u32
+    }
+
+    /// The Inline-Dedupe write path: hash, probe, then either a metadata
+    /// update (hit) or a program (miss) — with the hash latency always on
+    /// the critical path.
+    fn write_page_inline(&mut self, lpn: Lpn, content: ContentId, ready: Nanos) -> Nanos {
+        let h = self.hash.hash_page(ready);
+        let decided = h.end + self.cfg.lookup_ns;
+        let fp = Fingerprint::of_content(content);
+        match self.index.lookup(&fp) {
+            Some(entry) => {
+                if self.map.get(lpn) == Some(entry.ppn) {
+                    // Overwrite with identical content: nothing changes.
+                    return decided;
+                }
+                self.release_lpn(lpn, decided);
+                self.index.add_refs(&fp, 1);
+                self.map.set(lpn, entry.ppn);
+                self.rmap.add(entry.ppn, lpn);
+                decided
+            }
+            None => {
+                self.release_lpn(lpn, decided);
+                let (end, ppn) = self.program_foreground(decided);
+                self.index.insert(fp, ppn, 1);
+                self.bind(lpn, ppn, content);
+                end
+            }
+        }
+    }
+
+    /// Program the next host-frontier page for the foreground path. The
+    /// host frontier is distinct from the GC frontiers, so user programs
+    /// never queue behind a burst of migration writes on the same block.
+    ///
+    /// If the free pool has sunk to the GC reserve (possible under victim
+    /// policies with poor reclaim efficiency, e.g. Random), emergency GC
+    /// runs synchronously until a block is available.
+    fn program_foreground(&mut self, ready: Nanos) -> (Nanos, Ppn) {
+        let mut attempts = 0;
+        let block = loop {
+            if let Some(block) = self.alloc.alloc_page(Region::Host, false) {
+                break block;
+            }
+            let freed_from = self.alloc.free_blocks();
+            self.force_gc(ready);
+            attempts += 1;
+            if self.alloc.free_blocks() <= freed_from && attempts > 64 {
+                panic!(
+                    "foreground allocation failed: {} free blocks, GC reserve {} — \
+                     workload footprint exceeds device capacity",
+                    self.alloc.free_blocks(),
+                    self.alloc.gc_reserve()
+                );
+            }
+        };
+        let (res, ppn) = self.dev.program_next(block, ready);
+        self.user_programs += 1;
+        (res.end, ppn)
+    }
+
+    /// Bind a freshly programmed page to its logical page and content.
+    pub(crate) fn bind(&mut self, lpn: Lpn, ppn: Ppn, content: ContentId) {
+        self.map.set(lpn, ppn);
+        self.rmap.add(ppn, lpn);
+        self.content_of[ppn as usize] = content.0;
+    }
+
+    /// Drop `lpn`'s current mapping, decrementing the backing page's
+    /// reference count; the physical page is invalidated only when its last
+    /// reference disappears (Sec. III-A).
+    pub(crate) fn release_lpn(&mut self, lpn: Lpn, now: Nanos) {
+        let Some(old) = self.map.clear(lpn) else { return };
+        let remaining_lpns = self.rmap.remove(old, lpn);
+        match self.cfg.scheme {
+            Scheme::Baseline => {
+                debug_assert_eq!(remaining_lpns, 0, "baseline mapping must be 1:1");
+                self.dev.invalidate(old, now);
+            }
+            Scheme::InlineDedup | Scheme::InlineSampled | Scheme::Cagc => {
+                match self.index.release_ppn(old) {
+                    Some(0) => self.dev.invalidate(old, now),
+                    Some(_) => {} // other logical pages still share the content
+                    None => {
+                        // Untracked page (CAGC: not yet migrated through
+                        // GC; Inline-Sampled: stored on a pre-hash miss).
+                        // Exactly one LPN referenced it.
+                        debug_assert_eq!(remaining_lpns, 0, "untracked page had sharers");
+                        self.dev.invalidate(old, now);
+                        self.index.record_untracked_invalidation();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The stored content of a physical page.
+    ///
+    /// # Panics
+    /// Panics if no content was recorded (reading a free page's content is
+    /// a GC logic bug).
+    pub(crate) fn content_at(&self, ppn: Ppn) -> ContentId {
+        let raw = self.content_of[ppn as usize];
+        assert_ne!(raw, NO_CONTENT, "no content recorded at ppn {ppn}");
+        ContentId(raw)
+    }
+
+    /// The content a host read of `lpn` would return (`None` when the LPN
+    /// is unmapped). This is the data-integrity oracle used by tests: after
+    /// any sequence of writes, overwrites, trims and GC passes, every
+    /// mapped LPN must still return the content most recently written to
+    /// it.
+    pub fn stored_content(&self, lpn: Lpn) -> Option<ContentId> {
+        self.map.get(lpn).map(|ppn| self.content_at(ppn))
+    }
+
+    /// Cross-module consistency audit (tests and debugging; O(device)).
+    ///
+    /// Checks: forward/reverse map agreement; every referenced physical
+    /// page is `Valid`; reference counts equal sharer counts; the per-block
+    /// valid-page totals equal the number of referenced physical pages; the
+    /// fingerprint index is internally consistent.
+    pub fn audit(&self) -> Result<(), String> {
+        self.index.audit()?;
+        if self.rmap.total_refs() != self.map.mapped_count() {
+            return Err(format!(
+                "rmap holds {} refs but mapping has {} mapped LPNs",
+                self.rmap.total_refs(),
+                self.map.mapped_count()
+            ));
+        }
+        let mut referenced = 0u64;
+        for (ppn, lpns) in self.rmap.iter() {
+            referenced += 1;
+            if self.dev.page_state(ppn) != cagc_flash::PageState::Valid {
+                return Err(format!("referenced ppn {ppn} is not valid"));
+            }
+            match self.index.refs_of_ppn(ppn) {
+                Some(refs) => {
+                    if refs as usize != lpns.len() {
+                        return Err(format!(
+                            "ppn {ppn}: index refcount {refs} != {} sharers",
+                            lpns.len()
+                        ));
+                    }
+                }
+                None => {
+                    if self.cfg.scheme == Scheme::InlineDedup {
+                        return Err(format!("inline-dedupe left ppn {ppn} untracked"));
+                    }
+                    if lpns.len() != 1 {
+                        return Err(format!("untracked ppn {ppn} has {} sharers", lpns.len()));
+                    }
+                }
+            }
+            for &l in lpns {
+                if self.map.get(l) != Some(ppn) {
+                    return Err(format!("rmap says lpn {l} -> ppn {ppn}, map disagrees"));
+                }
+            }
+        }
+        let device_valid: u64 = (0..self.dev.block_count())
+            .map(|b| self.dev.block(b).valid_count() as u64)
+            .sum();
+        if device_valid != referenced {
+            return Err(format!(
+                "device holds {device_valid} valid pages, {referenced} are referenced"
+            ));
+        }
+        Ok(())
+    }
+}

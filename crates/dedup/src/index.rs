@@ -1,0 +1,343 @@
+//! The fingerprint index: fingerprint → (physical page, reference count).
+//!
+//! This is the metadata structure at the heart of any dedup FTL (CAFTL's
+//! "fingerprint store", CA-SSD's "hash store"). It maintains a bidirectional
+//! mapping:
+//!
+//! * `fingerprint → (ppn, refs)` — where the unique copy lives and how many
+//!   logical pages share it;
+//! * `ppn → fingerprint` — so invalidations and GC migrations, which arrive
+//!   addressed by physical page, can find and update the entry.
+//!
+//! Reference-count semantics follow Sec. III-A of the paper exactly: an
+//! overwrite or delete of a logical page *decrements* the stored page's
+//! count, and the flash page becomes invalid **only when the count reaches
+//! zero**. The index also records, per entry, the maximum count the entry
+//! ever reached — that is the statistic behind Fig. 6.
+
+use std::collections::HashMap;
+
+use crate::fingerprint::Fingerprint;
+use crate::refstats::RefCountStats;
+
+/// One stored unique page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpEntry {
+    /// Physical page where the unique copy is stored.
+    pub ppn: u64,
+    /// Current reference count (≥ 1 while the entry exists).
+    pub refs: u32,
+    /// Highest reference count this entry ever reached.
+    pub max_refs: u32,
+}
+
+/// Counters describing index traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// `lookup` calls.
+    pub lookups: u64,
+    /// Lookups that found an entry (dedup hits).
+    pub hits: u64,
+    /// New unique entries inserted.
+    pub inserts: u64,
+    /// Entries removed (refcount reached zero or page dropped).
+    pub removals: u64,
+}
+
+/// Fingerprint index with reference counting.
+#[derive(Debug, Default, Clone)]
+pub struct FingerprintIndex {
+    by_fp: HashMap<Fingerprint, FpEntry>,
+    by_ppn: HashMap<u64, Fingerprint>,
+    stats: IndexStats,
+    ref_stats: RefCountStats,
+}
+
+impl FingerprintIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of unique stored pages tracked.
+    pub fn len(&self) -> usize {
+        self.by_fp.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_fp.is_empty()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// The Fig.6 statistic: invalidations bucketed by max refcount reached.
+    pub fn ref_stats(&self) -> &RefCountStats {
+        &self.ref_stats
+    }
+
+    /// Look up a fingerprint, counting the probe.
+    pub fn lookup(&mut self, fp: &Fingerprint) -> Option<FpEntry> {
+        self.stats.lookups += 1;
+        let hit = self.by_fp.get(fp).copied();
+        if hit.is_some() {
+            self.stats.hits += 1;
+        }
+        hit
+    }
+
+    /// Non-counting read (for assertions/reports).
+    pub fn peek(&self, fp: &Fingerprint) -> Option<FpEntry> {
+        self.by_fp.get(fp).copied()
+    }
+
+    /// Insert a brand-new unique page stored at `ppn` with `refs` initial
+    /// references (1 for an inline write; the number of sharing LPNs for a
+    /// page absorbed during GC).
+    ///
+    /// # Panics
+    /// Panics if the fingerprint or the ppn is already tracked — double
+    /// insertion means the caller failed to look up first, which would
+    /// silently fork the refcount.
+    pub fn insert(&mut self, fp: Fingerprint, ppn: u64, refs: u32) {
+        assert!(refs >= 1, "insert with zero refs");
+        let prev = self.by_fp.insert(fp, FpEntry { ppn, refs, max_refs: refs });
+        assert!(prev.is_none(), "fingerprint already indexed: {fp:?}");
+        let prev = self.by_ppn.insert(ppn, fp);
+        assert!(prev.is_none(), "ppn {ppn} already indexed");
+        self.stats.inserts += 1;
+    }
+
+    /// Add `n` references to an existing entry; returns the new count.
+    ///
+    /// # Panics
+    /// Panics if the fingerprint is unknown.
+    pub fn add_refs(&mut self, fp: &Fingerprint, n: u32) -> u32 {
+        let e = self.by_fp.get_mut(fp).unwrap_or_else(|| panic!("add_refs: unknown {fp:?}"));
+        e.refs += n;
+        e.max_refs = e.max_refs.max(e.refs);
+        e.refs
+    }
+
+    /// Drop one reference from the page stored at `ppn`.
+    ///
+    /// Returns `Some(remaining)` if the ppn is tracked (0 means the entry
+    /// was just removed and the physical page is now invalid), or `None`
+    /// if the ppn is not in the index — which is normal for CAGC, where
+    /// pages written by the foreground path are not fingerprinted until
+    /// their first GC migration.
+    pub fn release_ppn(&mut self, ppn: u64) -> Option<u32> {
+        let fp = *self.by_ppn.get(&ppn)?;
+        let e = self.by_fp.get_mut(&fp).expect("by_ppn/by_fp out of sync");
+        debug_assert_eq!(e.ppn, ppn);
+        e.refs -= 1;
+        if e.refs == 0 {
+            let max = e.max_refs;
+            self.by_fp.remove(&fp);
+            self.by_ppn.remove(&ppn);
+            self.stats.removals += 1;
+            self.ref_stats.record_invalidation(max);
+            Some(0)
+        } else {
+            Some(e.refs)
+        }
+    }
+
+    /// Current reference count of the page at `ppn` (`None` if untracked).
+    pub fn refs_of_ppn(&self, ppn: u64) -> Option<u32> {
+        self.by_ppn.get(&ppn).map(|fp| self.by_fp[fp].refs)
+    }
+
+    /// Fingerprint stored at `ppn`, if tracked.
+    pub fn fp_of_ppn(&self, ppn: u64) -> Option<Fingerprint> {
+        self.by_ppn.get(&ppn).copied()
+    }
+
+    /// GC moved the unique copy from `old_ppn` to `new_ppn`.
+    ///
+    /// # Panics
+    /// Panics if `old_ppn` is untracked or `new_ppn` already occupied.
+    pub fn relocate(&mut self, old_ppn: u64, new_ppn: u64) {
+        let fp = self.by_ppn.remove(&old_ppn).unwrap_or_else(|| {
+            panic!("relocate: ppn {old_ppn} not indexed")
+        });
+        let prev = self.by_ppn.insert(new_ppn, fp);
+        assert!(prev.is_none(), "relocate: target ppn {new_ppn} occupied");
+        self.by_fp.get_mut(&fp).expect("by_ppn/by_fp out of sync").ppn = new_ppn;
+    }
+
+    /// Forget the entry at `ppn` without counting an invalidation (used when
+    /// a tracked page's references are transferred wholesale, e.g. a dedup
+    /// hit during migration absorbs this copy into another entry).
+    pub fn forget_ppn(&mut self, ppn: u64) -> Option<FpEntry> {
+        let fp = self.by_ppn.remove(&ppn)?;
+        let e = self.by_fp.remove(&fp).expect("by_ppn/by_fp out of sync");
+        self.stats.removals += 1;
+        Some(e)
+    }
+
+    /// Record an invalidation of an *untracked* page (refcount implicitly 1)
+    /// so Fig. 6 statistics also cover the never-deduplicated population.
+    pub fn record_untracked_invalidation(&mut self) {
+        self.ref_stats.record_invalidation(1);
+    }
+
+    /// Internal-consistency audit: every `by_ppn` entry points to a
+    /// `by_fp` entry that points back, and refs ≥ 1 ≤ max_refs. Used by
+    /// tests and debug assertions; O(n).
+    pub fn audit(&self) -> Result<(), String> {
+        if self.by_fp.len() != self.by_ppn.len() {
+            return Err(format!(
+                "size mismatch: {} fingerprints vs {} ppns",
+                self.by_fp.len(),
+                self.by_ppn.len()
+            ));
+        }
+        for (ppn, fp) in &self.by_ppn {
+            let e = self.by_fp.get(fp).ok_or_else(|| format!("dangling ppn {ppn}"))?;
+            if e.ppn != *ppn {
+                return Err(format!("ppn {ppn} maps to entry at {}", e.ppn));
+            }
+            if e.refs == 0 || e.max_refs < e.refs {
+                return Err(format!("bad refcounts at ppn {ppn}: {e:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of reference counts over all entries (= number of logical pages
+    /// currently backed by deduplicated physical pages).
+    pub fn total_refs(&self) -> u64 {
+        self.by_fp.values().map(|e| e.refs as u64).sum()
+    }
+
+    /// Histogram of current reference counts, bucketed {1, 2, 3, >3}.
+    pub fn live_ref_histogram(&self) -> [u64; 4] {
+        let mut h = [0u64; 4];
+        for e in self.by_fp.values() {
+            let b = match e.refs {
+                1 => 0,
+                2 => 1,
+                3 => 2,
+                _ => 3,
+            };
+            h[b] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::ContentId;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::of_content(ContentId(n))
+    }
+
+    #[test]
+    fn insert_lookup_hit_and_miss() {
+        let mut ix = FingerprintIndex::new();
+        ix.insert(fp(1), 100, 1);
+        assert_eq!(ix.lookup(&fp(1)).unwrap().ppn, 100);
+        assert!(ix.lookup(&fp(2)).is_none());
+        let s = ix.stats();
+        assert_eq!((s.lookups, s.hits, s.inserts), (2, 1, 1));
+    }
+
+    #[test]
+    fn refcounts_rise_and_fall() {
+        let mut ix = FingerprintIndex::new();
+        ix.insert(fp(1), 100, 1);
+        assert_eq!(ix.add_refs(&fp(1), 1), 2);
+        assert_eq!(ix.add_refs(&fp(1), 2), 4);
+        assert_eq!(ix.release_ppn(100), Some(3));
+        assert_eq!(ix.release_ppn(100), Some(2));
+        assert_eq!(ix.release_ppn(100), Some(1));
+        assert_eq!(ix.release_ppn(100), Some(0)); // entry gone
+        assert_eq!(ix.release_ppn(100), None); // now untracked
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn max_refs_feeds_fig6_buckets() {
+        let mut ix = FingerprintIndex::new();
+        // Entry that peaks at 4 refs then dies: bucket ">3".
+        ix.insert(fp(1), 1, 1);
+        ix.add_refs(&fp(1), 3);
+        for _ in 0..4 {
+            ix.release_ppn(1);
+        }
+        // Entry that never exceeds 1: bucket "1".
+        ix.insert(fp(2), 2, 1);
+        ix.release_ppn(2);
+        let b = ix.ref_stats().buckets();
+        assert_eq!(b, [1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn untracked_release_returns_none() {
+        let mut ix = FingerprintIndex::new();
+        assert_eq!(ix.release_ppn(999), None);
+    }
+
+    #[test]
+    fn relocate_moves_the_reverse_mapping() {
+        let mut ix = FingerprintIndex::new();
+        ix.insert(fp(1), 100, 2);
+        ix.relocate(100, 200);
+        assert_eq!(ix.refs_of_ppn(100), None);
+        assert_eq!(ix.refs_of_ppn(200), Some(2));
+        assert_eq!(ix.lookup(&fp(1)).unwrap().ppn, 200);
+        ix.audit().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not indexed")]
+    fn relocate_unknown_ppn_panics() {
+        FingerprintIndex::new().relocate(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already indexed")]
+    fn double_insert_same_fp_panics() {
+        let mut ix = FingerprintIndex::new();
+        ix.insert(fp(1), 1, 1);
+        ix.insert(fp(1), 2, 1);
+    }
+
+    #[test]
+    fn forget_drops_without_invalidation_stat() {
+        let mut ix = FingerprintIndex::new();
+        ix.insert(fp(1), 1, 3);
+        let e = ix.forget_ppn(1).unwrap();
+        assert_eq!(e.refs, 3);
+        assert_eq!(ix.ref_stats().total(), 0); // no invalidation recorded
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn totals_and_histogram() {
+        let mut ix = FingerprintIndex::new();
+        ix.insert(fp(1), 1, 1);
+        ix.insert(fp(2), 2, 2);
+        ix.insert(fp(3), 3, 3);
+        ix.insert(fp(4), 4, 9);
+        assert_eq!(ix.total_refs(), 15);
+        assert_eq!(ix.live_ref_histogram(), [1, 1, 1, 1]);
+        ix.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_catches_nothing_on_healthy_index() {
+        let mut ix = FingerprintIndex::new();
+        for i in 0..100 {
+            ix.insert(fp(i), i, (i % 5 + 1) as u32);
+        }
+        ix.audit().unwrap();
+    }
+}

@@ -1,0 +1,36 @@
+//! # cagc-dedup — deduplication substrate
+//!
+//! Everything content-addressed that the CAGC reproduction needs:
+//!
+//! * [`sha1`] / [`sha256`] — the fingerprint hash functions, implemented
+//!   from scratch (FIPS 180-4) and verified against published test vectors;
+//!   no crypto crate exists in the offline dependency budget.
+//! * [`fingerprint`] — [`ContentId`] (a page's logical content identity, as
+//!   carried by the FIU-style traces) and [`Fingerprint`] (its SHA-1
+//!   digest).
+//! * [`index`] — [`FingerprintIndex`], the fingerprint → (PPN, refcount)
+//!   store with a PPN-keyed reverse map, the metadata heart of CAFTL-style
+//!   dedup FTLs. Reference counts follow the paper's Sec. III-A semantics:
+//!   a physical page becomes invalid only when its count reaches zero.
+//! * [`refstats`] — [`RefCountStats`], the Fig. 6 measurement (invalidations
+//!   bucketed by peak refcount).
+//! * [`engine`] — [`HashEngine`], the 14 µs/page hash-unit *timing* model
+//!   (Table I), and [`ParallelHasher`], a real multi-threaded page hasher
+//!   for benches and real-content runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fingerprint;
+pub mod index;
+pub mod refstats;
+pub mod sha1;
+pub mod sha256;
+
+pub use engine::{HashEngine, ParallelHasher};
+pub use fingerprint::{ContentId, Fingerprint};
+pub use index::{FingerprintIndex, FpEntry, IndexStats};
+pub use refstats::RefCountStats;
+pub use sha1::Sha1;
+pub use sha256::Sha256;

@@ -1,0 +1,111 @@
+//! Reference-count invalidation statistics (the Fig. 6 measurement).
+//!
+//! Fig. 6 of the paper plots, per workload, what fraction of pages that
+//! *became invalid* had reference count 1, 2, 3, or >3 — the empirical basis
+//! for treating high-refcount pages as cold. We bucket each invalidated page
+//! by the **maximum reference count its stored copy ever reached**: a page
+//! that was only ever referenced once lands in bucket "1", a page that was
+//! shared by four files before they were all deleted lands in ">3".
+
+/// Invalidations bucketed by peak reference count {1, 2, 3, >3}.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefCountStats {
+    buckets: [u64; 4],
+}
+
+impl RefCountStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one page invalidation whose copy peaked at `max_refs`.
+    pub fn record_invalidation(&mut self, max_refs: u32) {
+        let b = match max_refs {
+            0 | 1 => 0,
+            2 => 1,
+            3 => 2,
+            _ => 3,
+        };
+        self.buckets[b] += 1;
+    }
+
+    /// Raw bucket counts `[ref==1, ref==2, ref==3, ref>3]`.
+    pub fn buckets(&self) -> [u64; 4] {
+        self.buckets
+    }
+
+    /// Total invalidations recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Bucket fractions (each in `[0,1]`, summing to 1 when non-empty).
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.total();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        self.buckets.map(|b| b as f64 / total as f64)
+    }
+
+    /// Merge another statistics object into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_fig6_classes() {
+        let mut s = RefCountStats::new();
+        s.record_invalidation(1);
+        s.record_invalidation(1);
+        s.record_invalidation(2);
+        s.record_invalidation(3);
+        s.record_invalidation(4);
+        s.record_invalidation(100);
+        assert_eq!(s.buckets(), [2, 1, 1, 2]);
+        assert_eq!(s.total(), 6);
+    }
+
+    #[test]
+    fn zero_refs_treated_as_one() {
+        // Defensive: an untracked page is implicitly refcount 1.
+        let mut s = RefCountStats::new();
+        s.record_invalidation(0);
+        assert_eq!(s.buckets(), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut s = RefCountStats::new();
+        for r in [1, 1, 1, 1, 2, 2, 3, 7] {
+            s.record_invalidation(r);
+        }
+        let f = s.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        assert_eq!(RefCountStats::new().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn merge_adds_buckets() {
+        let mut a = RefCountStats::new();
+        a.record_invalidation(1);
+        let mut b = RefCountStats::new();
+        b.record_invalidation(5);
+        b.record_invalidation(1);
+        a.merge(&b);
+        assert_eq!(a.buckets(), [2, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the dedup substrate.
+
+use cagc_dedup::{ContentId, Fingerprint, FingerprintIndex, ParallelHasher, Sha1, Sha256};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// SHA-1 streaming with arbitrary chunking equals one-shot hashing.
+    #[test]
+    fn sha1_chunking_invariance(data in prop::collection::vec(any::<u8>(), 0..2000),
+                                cuts in prop::collection::vec(1usize..64, 0..40)) {
+        let expect = Sha1::digest(&data);
+        let mut s = Sha1::new();
+        let mut rest: &[u8] = &data;
+        for &c in &cuts {
+            if rest.is_empty() { break; }
+            let take = c.min(rest.len());
+            s.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        s.update(rest);
+        prop_assert_eq!(s.finalize(), expect);
+    }
+
+    /// SHA-256 streaming with arbitrary chunking equals one-shot hashing.
+    #[test]
+    fn sha256_chunking_invariance(data in prop::collection::vec(any::<u8>(), 0..2000),
+                                  cuts in prop::collection::vec(1usize..64, 0..40)) {
+        let expect = Sha256::digest(&data);
+        let mut s = Sha256::new();
+        let mut rest: &[u8] = &data;
+        for &c in &cuts {
+            if rest.is_empty() { break; }
+            let take = c.min(rest.len());
+            s.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        s.update(rest);
+        prop_assert_eq!(s.finalize(), expect);
+    }
+
+    /// The fingerprint relation is exactly content-id equality.
+    #[test]
+    fn fingerprints_respect_content_equality(a in any::<u64>(), b in any::<u64>()) {
+        let fa = Fingerprint::of_content(ContentId(a));
+        let fb = Fingerprint::of_content(ContentId(b));
+        prop_assert_eq!(fa == fb, a == b);
+    }
+
+    /// Index model check: drive the index with random insert / add_ref /
+    /// release operations and mirror it against a naive HashMap model. The
+    /// index must agree with the model after every operation, and its
+    /// internal audit must always pass.
+    #[test]
+    fn index_agrees_with_naive_model(ops in prop::collection::vec((0u8..3, 0u64..20), 1..300)) {
+        let mut ix = FingerprintIndex::new();
+        // model: content -> (ppn, refs)
+        let mut model: HashMap<u64, (u64, u32)> = HashMap::new();
+        let mut next_ppn = 0u64;
+
+        for &(op, content) in &ops {
+            let fp = Fingerprint::of_content(ContentId(content));
+            match op {
+                0 => {
+                    // "write": hit -> add ref; miss -> insert at fresh ppn
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(content) {
+                        ix.insert(fp, next_ppn, 1);
+                        e.insert((next_ppn, 1));
+                        next_ppn += 1;
+                    } else {
+                        ix.add_refs(&fp, 1);
+                        model.get_mut(&content).expect("present").1 += 1;
+                    }
+                }
+                1 => {
+                    // "overwrite/delete": release one ref if present
+                    if let Some(&(ppn, refs)) = model.get(&content) {
+                        let rem = ix.release_ppn(ppn).expect("tracked");
+                        if refs == 1 {
+                            prop_assert_eq!(rem, 0);
+                            model.remove(&content);
+                        } else {
+                            prop_assert_eq!(rem, refs - 1);
+                            model.get_mut(&content).expect("present").1 -= 1;
+                        }
+                    } else {
+                        prop_assert_eq!(ix.lookup(&fp), None);
+                    }
+                }
+                _ => {
+                    // "GC relocate" if present
+                    if let Some(entry) = model.get_mut(&content) {
+                        ix.relocate(entry.0, next_ppn);
+                        entry.0 = next_ppn;
+                        next_ppn += 1;
+                    }
+                }
+            }
+            // Full agreement after every step.
+            prop_assert_eq!(ix.len(), model.len());
+            for (&c, &(ppn, refs)) in &model {
+                let e = ix.peek(&Fingerprint::of_content(ContentId(c))).expect("entry");
+                prop_assert_eq!(e.ppn, ppn);
+                prop_assert_eq!(e.refs, refs);
+            }
+            ix.audit().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// total_refs equals the sum of model refcounts.
+    #[test]
+    fn total_refs_matches_model(refcounts in prop::collection::vec(1u32..9, 0..50)) {
+        let mut ix = FingerprintIndex::new();
+        let mut sum = 0u64;
+        for (i, &r) in refcounts.iter().enumerate() {
+            ix.insert(Fingerprint::of_content(ContentId(i as u64)), i as u64, r);
+            sum += r as u64;
+        }
+        prop_assert_eq!(ix.total_refs(), sum);
+    }
+
+    /// Parallel hashing equals serial hashing for any worker count.
+    #[test]
+    fn parallel_hashing_is_order_preserving(
+        n_pages in 0usize..40, workers in 1usize..9, seed in any::<u64>()
+    ) {
+        let pages: Vec<Vec<u8>> = (0..n_pages)
+            .map(|i| ContentId(seed ^ i as u64).synth_bytes(256))
+            .collect();
+        let serial: Vec<Fingerprint> = pages.iter().map(|p| Fingerprint::of_bytes(p)).collect();
+        prop_assert_eq!(ParallelHasher::new(workers).hash_pages(&pages), serial);
+    }
+}

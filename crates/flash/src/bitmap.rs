@@ -1,0 +1,171 @@
+//! A compact fixed-size bitmap.
+//!
+//! Per-page state inside a [`crate::Block`] is two bits (written / valid),
+//! stored in bitmaps so an 80 GB device (20 M pages) needs ~5 MB of state
+//! rather than hundreds. Implemented here instead of pulling a dependency:
+//! the offline crate budget is reserved for rand/proptest/criterion/etc.
+
+/// Fixed-capacity bitmap backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all zero.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len, ones: 0 }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits (maintained incrementally — O(1)).
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len` (index is always derived from validated geometry).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `v`; returns the previous value.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let prev = (self.words[w] >> b) & 1 == 1;
+        if v && !prev {
+            self.words[w] |= 1 << b;
+            self.ones += 1;
+        } else if !v && prev {
+            self.words[w] &= !(1 << b);
+            self.ones -= 1;
+        }
+        prev
+    }
+
+    /// Clear every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+
+    /// Iterate the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = wi * 64;
+            BitIter { word: w }.map(move |b| base + b)
+        })
+    }
+}
+
+/// Iterator over set-bit positions within one word.
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_bitmap_is_all_zero() {
+        let b = Bitmap::new(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.get(0));
+        assert!(!b.get(129));
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut b = Bitmap::new(100);
+        assert!(!b.set(63, true));
+        assert!(!b.set(64, true));
+        assert!(b.get(63));
+        assert!(b.get(64));
+        assert!(!b.get(62));
+        assert_eq!(b.count_ones(), 2);
+        assert!(b.set(63, false));
+        assert!(!b.get(63));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn redundant_sets_do_not_corrupt_count() {
+        let mut b = Bitmap::new(10);
+        b.set(3, true);
+        b.set(3, true);
+        assert_eq!(b.count_ones(), 1);
+        b.set(3, false);
+        b.set(3, false);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_positions() {
+        let mut b = Bitmap::new(200);
+        for i in [0, 1, 63, 64, 65, 127, 128, 199] {
+            b.set(i, true);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, vec![0, 1, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut b = Bitmap::new(70);
+        for i in 0..70 {
+            b.set(i, true);
+        }
+        assert_eq!(b.count_ones(), 70);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        Bitmap::new(8).get(8);
+    }
+
+    #[test]
+    fn zero_length_bitmap_is_fine() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Per-block state machine.
+//!
+//! A [`Block`] tracks which of its pages have been written and which of the
+//! written pages are still valid, plus its erase count, write pointer and
+//! the timestamp of its last modification (used by the cost-benefit victim
+//! policy). The state machine enforces the two hard NAND rules:
+//!
+//! 1. pages are programmed in strictly increasing page order within a block
+//!    (the *write pointer*), and only onto never-written-since-erase pages;
+//! 2. the only way to make a written page writable again is to erase the
+//!    whole block.
+
+use crate::bitmap::Bitmap;
+use cagc_sim::time::Nanos;
+
+/// Logical state of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Erased and never programmed since: writable.
+    Free,
+    /// Programmed and still referenced by at least one logical page.
+    Valid,
+    /// Programmed but no longer referenced: reclaimable by erase.
+    Invalid,
+}
+
+/// State of one flash block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    written: Bitmap,
+    valid: Bitmap,
+    write_ptr: u32,
+    erase_count: u32,
+    last_modified_ns: Nanos,
+}
+
+impl Block {
+    /// A fresh (erased, never used) block with `pages` pages.
+    pub fn new(pages: u32) -> Self {
+        Self {
+            written: Bitmap::new(pages as usize),
+            valid: Bitmap::new(pages as usize),
+            write_ptr: 0,
+            erase_count: 0,
+            last_modified_ns: 0,
+        }
+    }
+
+    /// Number of pages in the block.
+    #[inline]
+    pub fn pages(&self) -> u32 {
+        self.written.len() as u32
+    }
+
+    /// State of page `page`.
+    #[inline]
+    pub fn page_state(&self, page: u32) -> PageState {
+        if !self.written.get(page as usize) {
+            PageState::Free
+        } else if self.valid.get(page as usize) {
+            PageState::Valid
+        } else {
+            PageState::Invalid
+        }
+    }
+
+    /// Number of valid pages.
+    #[inline]
+    pub fn valid_count(&self) -> u32 {
+        self.valid.count_ones() as u32
+    }
+
+    /// Number of invalid pages (written but no longer valid).
+    #[inline]
+    pub fn invalid_count(&self) -> u32 {
+        (self.written.count_ones() - self.valid.count_ones()) as u32
+    }
+
+    /// Number of still-free pages.
+    #[inline]
+    pub fn free_count(&self) -> u32 {
+        self.pages() - self.written.count_ones() as u32
+    }
+
+    /// The next page that a program must target, or `None` if full.
+    #[inline]
+    pub fn next_program_page(&self) -> Option<u32> {
+        (self.write_ptr < self.pages()).then_some(self.write_ptr)
+    }
+
+    /// Whether every page has been written.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.write_ptr == self.pages()
+    }
+
+    /// Whether the block is entirely free (fresh or just erased).
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    /// Times this block has been erased (wear).
+    #[inline]
+    pub fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// Timestamp of the last program/invalidate/erase that touched the block.
+    #[inline]
+    pub fn last_modified(&self) -> Nanos {
+        self.last_modified_ns
+    }
+
+    /// Program the next page (must equal the write pointer). Returns the
+    /// page offset that was programmed. The page becomes `Valid`.
+    ///
+    /// # Panics
+    /// Panics if the block is full — the allocator must rotate to a new
+    /// block first; programming past the end is an FTL logic bug.
+    pub fn program_next(&mut self, now: Nanos) -> u32 {
+        let page = self
+            .next_program_page()
+            .unwrap_or_else(|| panic!("program on full block (write_ptr={})", self.write_ptr));
+        self.written.set(page as usize, true);
+        self.valid.set(page as usize, true);
+        self.write_ptr += 1;
+        self.last_modified_ns = now;
+        page
+    }
+
+    /// Mark a valid page invalid (its last logical reference went away).
+    ///
+    /// # Panics
+    /// Panics if the page is not currently `Valid`: double-invalidation or
+    /// invalidating a free page means refcount accounting is broken, and we
+    /// want to fail loudly at the source.
+    pub fn invalidate(&mut self, page: u32, now: Nanos) {
+        match self.page_state(page) {
+            PageState::Valid => {
+                self.valid.set(page as usize, false);
+                self.last_modified_ns = now;
+            }
+            s => panic!("invalidate page {page} in state {s:?}"),
+        }
+    }
+
+    /// Erase the block: all pages become `Free`, wear increments.
+    ///
+    /// # Panics
+    /// Panics if any page is still `Valid` — erasing live data is the worst
+    /// FTL bug there is, so the model refuses.
+    pub fn erase(&mut self, now: Nanos) {
+        assert_eq!(
+            self.valid.count_ones(),
+            0,
+            "erase of block with {} valid pages",
+            self.valid.count_ones()
+        );
+        self.written.clear();
+        self.valid.clear();
+        self.write_ptr = 0;
+        self.erase_count += 1;
+        self.last_modified_ns = now;
+    }
+
+    /// Iterate offsets of currently valid pages, ascending.
+    pub fn valid_pages(&self) -> impl Iterator<Item = u32> + '_ {
+        self.valid.iter_ones().map(|i| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_all_free() {
+        let b = Block::new(16);
+        assert_eq!(b.free_count(), 16);
+        assert_eq!(b.valid_count(), 0);
+        assert_eq!(b.invalid_count(), 0);
+        assert!(b.is_free());
+        assert!(!b.is_full());
+        assert_eq!(b.next_program_page(), Some(0));
+    }
+
+    #[test]
+    fn programs_advance_sequentially() {
+        let mut b = Block::new(4);
+        assert_eq!(b.program_next(10), 0);
+        assert_eq!(b.program_next(11), 1);
+        assert_eq!(b.program_next(12), 2);
+        assert_eq!(b.program_next(13), 3);
+        assert!(b.is_full());
+        assert_eq!(b.next_program_page(), None);
+        assert_eq!(b.valid_count(), 4);
+        assert_eq!(b.last_modified(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "full block")]
+    fn programming_a_full_block_panics() {
+        let mut b = Block::new(1);
+        b.program_next(0);
+        b.program_next(1);
+    }
+
+    #[test]
+    fn invalidate_moves_valid_to_invalid() {
+        let mut b = Block::new(4);
+        b.program_next(0);
+        b.program_next(0);
+        b.invalidate(0, 5);
+        assert_eq!(b.page_state(0), PageState::Invalid);
+        assert_eq!(b.page_state(1), PageState::Valid);
+        assert_eq!(b.valid_count(), 1);
+        assert_eq!(b.invalid_count(), 1);
+        assert_eq!(b.free_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalidate page")]
+    fn double_invalidate_panics() {
+        let mut b = Block::new(2);
+        b.program_next(0);
+        b.invalidate(0, 0);
+        b.invalidate(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalidate page")]
+    fn invalidating_free_page_panics() {
+        let mut b = Block::new(2);
+        b.invalidate(1, 0);
+    }
+
+    #[test]
+    fn erase_requires_no_valid_pages_and_resets() {
+        let mut b = Block::new(3);
+        for _ in 0..3 {
+            b.program_next(0);
+        }
+        for p in 0..3 {
+            b.invalidate(p, 0);
+        }
+        b.erase(99);
+        assert!(b.is_free());
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.free_count(), 3);
+        assert_eq!(b.next_program_page(), Some(0));
+        // Block is reusable after erase.
+        assert_eq!(b.program_next(100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid pages")]
+    fn erase_with_valid_data_panics() {
+        let mut b = Block::new(2);
+        b.program_next(0);
+        b.erase(0);
+    }
+
+    #[test]
+    fn valid_pages_iterates_only_valid() {
+        let mut b = Block::new(5);
+        for _ in 0..4 {
+            b.program_next(0);
+        }
+        b.invalidate(1, 0);
+        b.invalidate(3, 0);
+        let v: Vec<u32> = b.valid_pages().collect();
+        assert_eq!(v, vec![0, 2]);
+    }
+
+    #[test]
+    fn wear_accumulates_across_erase_cycles() {
+        let mut b = Block::new(1);
+        for i in 0..5 {
+            b.program_next(i);
+            b.invalidate(0, i);
+            b.erase(i);
+        }
+        assert_eq!(b.erase_count(), 5);
+    }
+}

@@ -1,0 +1,327 @@
+//! The flash device: blocks + per-die timelines + operation issue.
+
+use crate::addr::{BlockId, Ppn};
+use crate::block::{Block, PageState};
+use crate::geometry::Geometry;
+use crate::stats::DeviceStats;
+use crate::timing::Timing;
+use cagc_sim::time::Nanos;
+use cagc_sim::timeline::{Reservation, TimelineGroup};
+
+/// The class of a flash operation (used in timing breakdowns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Page read.
+    Read,
+    /// Page program.
+    Program,
+    /// Block erase.
+    Erase,
+}
+
+/// A simulated NAND device.
+///
+/// Owns every block's state plus one [`cagc_sim::Timeline`] per die: an
+/// operation on a die queues behind earlier operations on the same die and
+/// proceeds in parallel with other dies. Channel timelines are maintained
+/// too when `Timing::bus_xfer_ns > 0` (page transfers serialize per
+/// channel), matching FlashSim's resource model.
+///
+/// The device enforces the NAND state machine (sequential program within a
+/// block, no erase of valid data) and panics on violations — FTL bugs should
+/// explode here, at the point of damage, not corrupt statistics silently.
+#[derive(Debug, Clone)]
+pub struct FlashDevice {
+    geometry: Geometry,
+    timing: Timing,
+    blocks: Vec<Block>,
+    dies: TimelineGroup,
+    channels: TimelineGroup,
+    stats: DeviceStats,
+}
+
+impl FlashDevice {
+    /// A fresh device: all blocks erased, all dies idle.
+    pub fn new(geometry: Geometry, timing: Timing) -> Self {
+        let blocks =
+            (0..geometry.total_blocks()).map(|_| Block::new(geometry.pages_per_block)).collect();
+        Self {
+            geometry,
+            timing,
+            blocks,
+            dies: TimelineGroup::new(geometry.total_dies() as usize),
+            channels: TimelineGroup::new(geometry.channels as usize),
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The device geometry.
+    #[inline]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The timing parameters.
+    #[inline]
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// Operation counters.
+    #[inline]
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Immutable view of block `b`.
+    #[inline]
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b as usize]
+    }
+
+    /// Number of blocks (= `geometry().total_blocks()`).
+    #[inline]
+    pub fn block_count(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+
+    /// State of the page at `ppn`.
+    #[inline]
+    pub fn page_state(&self, ppn: Ppn) -> PageState {
+        self.blocks[self.geometry.block_of(ppn) as usize].page_state(self.geometry.page_of(ppn))
+    }
+
+    /// Earliest instant die `die` could accept new work.
+    #[inline]
+    pub fn die_free_at(&self, die: u32) -> Nanos {
+        self.dies.get(die as usize).next_free()
+    }
+
+    /// When every die has drained (end of simulation bookkeeping).
+    pub fn all_dies_drained_at(&self) -> Nanos {
+        self.dies.all_drained_at()
+    }
+
+    /// Cumulative busy time per die, in die order (parallelism report).
+    pub fn die_busy_totals(&self) -> Vec<Nanos> {
+        (0..self.dies.len()).map(|d| self.dies.get(d).busy_total()).collect()
+    }
+
+    /// Issue a page read at `ppn`, ready no earlier than `ready_at`.
+    ///
+    /// Reads of `Free` pages are rejected (panic): the FTL must never read
+    /// an unwritten physical page. Invalid pages may still be read — GC
+    /// migration reads a page before its mapping metadata is finalized.
+    pub fn read(&mut self, ppn: Ppn, ready_at: Nanos) -> Reservation {
+        assert!(
+            self.page_state(ppn) != PageState::Free,
+            "read of free (unwritten) page ppn={ppn}"
+        );
+        let r = self.reserve_page_op(ppn, ready_at, self.timing.read_service());
+        self.stats.reads += 1;
+        self.stats.read_busy_ns += self.timing.read_service();
+        r
+    }
+
+    /// Program the **next free page** of block `block` (NAND requires
+    /// sequential program order). Returns the reservation and the programmed
+    /// PPN.
+    ///
+    /// # Panics
+    /// Panics if the block is full.
+    pub fn program_next(&mut self, block: BlockId, ready_at: Nanos) -> (Reservation, Ppn) {
+        let svc = self.timing.program_service();
+        let r = self.reserve_block_op(block, ready_at, svc);
+        let page = self.blocks[block as usize].program_next(r.end);
+        self.stats.programs += 1;
+        self.stats.program_busy_ns += svc;
+        (r, self.geometry.ppn(block, page))
+    }
+
+    /// Mark `ppn` invalid (no flash operation — metadata only, free).
+    pub fn invalidate(&mut self, ppn: Ppn, now: Nanos) {
+        let b = self.geometry.block_of(ppn);
+        self.blocks[b as usize].invalidate(self.geometry.page_of(ppn), now);
+    }
+
+    /// Erase block `block`, ready no earlier than `ready_at`.
+    ///
+    /// # Panics
+    /// Panics if the block still holds valid pages.
+    pub fn erase(&mut self, block: BlockId, ready_at: Nanos) -> Reservation {
+        let die = self.geometry.die_of_block(block) as usize;
+        let r = self.dies.reserve(die, ready_at, self.timing.erase_ns);
+        self.blocks[block as usize].erase(r.end);
+        self.stats.erases += 1;
+        self.stats.erase_busy_ns += self.timing.erase_ns;
+        r
+    }
+
+    /// Min/max/mean erase count across blocks (wear-leveling report).
+    pub fn wear_summary(&self) -> (u32, u32, f64) {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut sum = 0u64;
+        for b in &self.blocks {
+            min = min.min(b.erase_count());
+            max = max.max(b.erase_count());
+            sum += b.erase_count() as u64;
+        }
+        (min, max, sum as f64 / self.blocks.len() as f64)
+    }
+
+    /// Population standard deviation of per-block erase counts — the
+    /// scalar wear-evenness metric (0 = perfectly level).
+    pub fn wear_stddev(&self) -> f64 {
+        let (_, _, mean) = self.wear_summary();
+        let var = self
+            .blocks
+            .iter()
+            .map(|b| (b.erase_count() as f64 - mean).powi(2))
+            .sum::<f64>()
+            / self.blocks.len() as f64;
+        var.sqrt()
+    }
+
+    fn reserve_page_op(&mut self, ppn: Ppn, ready_at: Nanos, svc: Nanos) -> Reservation {
+        let block = self.geometry.block_of(ppn);
+        self.reserve_block_op(block, ready_at, svc)
+    }
+
+    /// Reserve die time (and channel time when bus transfer is modelled)
+    /// for an operation on `block`.
+    fn reserve_block_op(&mut self, block: BlockId, ready_at: Nanos, svc: Nanos) -> Reservation {
+        let die = self.geometry.die_of_block(block) as usize;
+        if self.timing.bus_xfer_ns > 0 {
+            // The channel must be free for the transfer portion; serialize
+            // the transfer on the channel, then the cell op on the die.
+            let chan = (die as u32 / self.geometry.dies_per_channel) as usize;
+            let xfer = self.channels.reserve(chan, ready_at, self.timing.bus_xfer_ns);
+            let cell = self.dies.reserve(die, xfer.end, svc - self.timing.bus_xfer_ns);
+            Reservation { start: xfer.start, end: cell.end, queued: xfer.start - ready_at }
+        } else {
+            self.dies.reserve(die, ready_at, svc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagc_sim::time::us;
+
+    fn dev() -> FlashDevice {
+        // 1 channel × 2 dies × 1 plane × 4 blocks/plane × 8 pages.
+        FlashDevice::new(Geometry::new(1, 2, 1, 4, 8, 4096), Timing::ull())
+    }
+
+    #[test]
+    fn program_then_read_round_trip_times() {
+        let mut d = dev();
+        let (w, ppn) = d.program_next(0, 0);
+        assert_eq!(w.start, 0);
+        assert_eq!(w.end, us(16));
+        assert_eq!(ppn, d.geometry().ppn(0, 0));
+        let r = d.read(ppn, w.end);
+        assert_eq!(r.end, us(28)); // 16 + 12
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().programs, 1);
+    }
+
+    #[test]
+    fn same_die_ops_serialize_different_dies_overlap() {
+        let mut d = dev();
+        // Blocks 0..4 are die 0; blocks 4..8 are die 1.
+        let (a, _) = d.program_next(0, 0);
+        let (b, _) = d.program_next(1, 0); // same die: queues
+        let (c, _) = d.program_next(4, 0); // other die: parallel
+        assert_eq!(a.end, us(16));
+        assert_eq!(b.start, us(16));
+        assert_eq!(b.end, us(32));
+        assert_eq!(c.start, 0);
+        assert_eq!(c.end, us(16));
+    }
+
+    #[test]
+    fn erase_blocks_the_die_for_1_5_ms() {
+        let mut d = dev();
+        let (w, ppn) = d.program_next(0, 0);
+        d.invalidate(ppn, w.end);
+        let e = d.erase(0, w.end);
+        assert_eq!(e.end - e.start, us(1500));
+        // A subsequent read on the same die waits out the erase.
+        let (w2, ppn2) = d.program_next(1, 0);
+        assert!(w2.start >= e.end);
+        let r = d.read(ppn2, w2.end);
+        assert_eq!(r.start, w2.end);
+    }
+
+    #[test]
+    #[should_panic(expected = "free (unwritten) page")]
+    fn reading_unwritten_page_panics() {
+        let mut d = dev();
+        d.read(3, 0);
+    }
+
+    #[test]
+    fn invalid_pages_remain_readable_for_migration() {
+        let mut d = dev();
+        let (w, ppn) = d.program_next(0, 0);
+        d.invalidate(ppn, w.end);
+        let r = d.read(ppn, w.end); // GC may still need the cells
+        assert!(r.end > w.end);
+    }
+
+    #[test]
+    fn erase_resets_block_for_reuse() {
+        let mut d = dev();
+        for _ in 0..8 {
+            let (w, ppn) = d.program_next(2, 0);
+            d.invalidate(ppn, w.end);
+        }
+        assert!(d.block(2).is_full());
+        d.erase(2, us(1000));
+        assert!(d.block(2).is_free());
+        let (_, ppn) = d.program_next(2, us(3000));
+        assert_eq!(d.geometry().page_of(ppn), 0);
+        assert_eq!(d.block(2).erase_count(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate_busy_time() {
+        let mut d = dev();
+        let (_, p0) = d.program_next(0, 0);
+        let (_, _p1) = d.program_next(0, 0);
+        d.read(p0, 0);
+        d.invalidate(p0, 0);
+        assert_eq!(d.stats().program_busy_ns, us(32));
+        assert_eq!(d.stats().read_busy_ns, us(12));
+        assert_eq!(d.stats().total_ops(), 3);
+    }
+
+    #[test]
+    fn bus_transfer_serializes_on_channel() {
+        let timing = Timing { bus_xfer_ns: us(2), ..Timing::ull() };
+        // 1 channel, 2 dies: transfers contend even across dies.
+        let mut d = FlashDevice::new(Geometry::new(1, 2, 1, 4, 8, 4096), timing);
+        let (a, _) = d.program_next(0, 0); // die 0
+        let (b, _) = d.program_next(4, 0); // die 1, same channel
+        assert_eq!(a.end, us(18)); // 2 xfer + 16 program
+        assert_eq!(b.start, us(2)); // waits for channel only
+        assert_eq!(b.end, us(20));
+    }
+
+    #[test]
+    fn wear_summary_tracks_spread() {
+        let mut d = dev();
+        for _ in 0..3 {
+            let (w, ppn) = d.program_next(0, 0);
+            d.invalidate(ppn, w.end);
+            d.erase(0, w.end);
+        }
+        let (min, max, mean) = d.wear_summary();
+        assert_eq!(min, 0);
+        assert_eq!(max, 3);
+        assert!((mean - 3.0 / 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,54 @@
+//! # cagc-flash — NAND flash device model
+//!
+//! The physical-device substrate of the CAGC reproduction: the part of
+//! FlashSim that models NAND geometry, page/block state, operation latencies
+//! and per-die/per-channel contention. The FTL (`cagc-ftl`) and the schemes
+//! (`cagc-core`) sit on top of this crate.
+//!
+//! ## Model
+//!
+//! * **Geometry** ([`Geometry`]): channels × dies × planes × blocks × pages,
+//!   with a flat physical page number ([`Ppn`]) address space and cheap
+//!   address arithmetic.
+//! * **State machine** ([`Block`], [`PageState`]): every page is `Free`,
+//!   `Valid` or `Invalid`; programs must land on free pages **in sequential
+//!   page order within a block** (the NAND program constraint), and only a
+//!   whole block can be erased.
+//! * **Timing** ([`Timing`], [`UllConfig`]): Table I of the paper — 12 µs
+//!   read, 16 µs program, 1.5 ms erase, 4 KiB pages, 64-page (256 KiB)
+//!   blocks, 7 % over-provisioning, 20 % GC watermark — plus a conventional
+//!   NVMe preset for contrast experiments.
+//! * **Contention** ([`FlashDevice`]): each die is a single-server
+//!   [`cagc_sim::Timeline`]; reads/programs/erases serialize per die while
+//!   different dies proceed in parallel, which is exactly how GC interferes
+//!   with foreground traffic in the paper.
+//!
+//! ```
+//! use cagc_flash::{FlashDevice, UllConfig};
+//!
+//! let cfg = UllConfig::tiny_for_tests();
+//! let mut dev = FlashDevice::new(cfg.geometry(), cfg.timing());
+//! let (reservation, ppn) = dev.program_next(0, 0); // block 0, next page
+//! assert_eq!(reservation.end, 16_000); // 16us program, idle die
+//! assert_eq!(ppn, dev.geometry().ppn(0, 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod bitmap;
+pub mod block;
+pub mod config;
+pub mod device;
+pub mod geometry;
+pub mod stats;
+pub mod timing;
+
+pub use addr::{BlockId, PageOffset, Ppn, NO_PPN};
+pub use block::{Block, PageState};
+pub use config::UllConfig;
+pub use device::{FlashDevice, OpKind};
+pub use geometry::Geometry;
+pub use stats::DeviceStats;
+pub use timing::Timing;

@@ -1,0 +1,51 @@
+//! Device-level operation counters.
+
+use cagc_sim::time::Nanos;
+
+/// Counters maintained by [`crate::FlashDevice`] across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Page reads issued.
+    pub reads: u64,
+    /// Page programs issued.
+    pub programs: u64,
+    /// Block erases issued.
+    pub erases: u64,
+    /// Total die-busy time consumed by reads.
+    pub read_busy_ns: Nanos,
+    /// Total die-busy time consumed by programs.
+    pub program_busy_ns: Nanos,
+    /// Total die-busy time consumed by erases.
+    pub erase_busy_ns: Nanos,
+}
+
+impl DeviceStats {
+    /// Total busy time across all operation classes.
+    pub fn total_busy_ns(&self) -> Nanos {
+        self.read_busy_ns + self.program_busy_ns + self.erase_busy_ns
+    }
+
+    /// Total operations across all classes.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.programs + self.erases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let s = DeviceStats {
+            reads: 2,
+            programs: 3,
+            erases: 1,
+            read_busy_ns: 24_000,
+            program_busy_ns: 48_000,
+            erase_busy_ns: 1_500_000,
+        };
+        assert_eq!(s.total_ops(), 6);
+        assert_eq!(s.total_busy_ns(), 1_572_000);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cagc-ftl — page-mapping FTL substrate
+//!
+//! The flash-translation-layer building blocks the schemes in `cagc-core`
+//! are assembled from — the part of FlashSim's FTL that is *common* to
+//! Baseline, Inline-Dedupe and CAGC:
+//!
+//! * [`mapping::MappingTable`] — dense LPN → PPN page-level mapping (many-
+//!   to-one under dedup).
+//! * [`rmap::ReverseMap`] — PPN → LPNs, so GC migration can remap every
+//!   logical page backed by a moved physical page.
+//! * [`allocator::Allocator`] — free-block pool plus hot/cold write
+//!   frontiers and the GC reserve that prevents migration deadlock.
+//! * [`victim`] — the three victim-selection policies the paper evaluates
+//!   (Random, Greedy, Cost-Benefit), deterministic under a seed.
+//! * [`gc`] — watermark trigger with hysteresis (Table I: 20 %) and the
+//!   [`gc::GcStats`] counters behind Figs. 9, 10 and 13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod gc;
+pub mod mapping;
+pub mod rmap;
+pub mod victim;
+
+pub use allocator::{Allocator, Region};
+pub use gc::{GcStats, GcTrigger};
+pub use mapping::{Lpn, MappingTable};
+pub use rmap::ReverseMap;
+pub use victim::{VictimCandidate, VictimKind, VictimSelector};

@@ -1,0 +1,176 @@
+//! PPN → LPNs reverse map.
+//!
+//! GC migrates physical pages, but the state that must be updated is
+//! logical: every LPN that points at the migrated PPN has to be remapped.
+//! Without dedup each PPN has exactly one LPN; with dedup a popular page
+//! may be shared by many. The reverse map tracks that set per PPN.
+
+use crate::mapping::Lpn;
+use cagc_flash::Ppn;
+use std::collections::HashMap;
+
+/// Reverse mapping from physical page to the logical pages backed by it.
+#[derive(Debug, Clone, Default)]
+pub struct ReverseMap {
+    map: HashMap<Ppn, Vec<Lpn>>,
+}
+
+impl ReverseMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of PPNs with at least one LPN.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no PPN is referenced.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Record that `lpn` now points at `ppn`.
+    pub fn add(&mut self, ppn: Ppn, lpn: Lpn) {
+        self.map.entry(ppn).or_default().push(lpn);
+    }
+
+    /// Record that `lpn` no longer points at `ppn`. Returns how many LPNs
+    /// still reference the PPN.
+    ///
+    /// # Panics
+    /// Panics if the pair was not present — the forward and reverse maps
+    /// must never disagree.
+    pub fn remove(&mut self, ppn: Ppn, lpn: Lpn) -> usize {
+        let v = self
+            .map
+            .get_mut(&ppn)
+            .unwrap_or_else(|| panic!("reverse map: ppn {ppn} untracked"));
+        let i = v
+            .iter()
+            .position(|&l| l == lpn)
+            .unwrap_or_else(|| panic!("reverse map: lpn {lpn} not under ppn {ppn}"));
+        v.swap_remove(i);
+        let remaining = v.len();
+        if remaining == 0 {
+            self.map.remove(&ppn);
+        }
+        remaining
+    }
+
+    /// LPNs currently backed by `ppn` (empty slice if none).
+    pub fn lpns(&self, ppn: Ppn) -> &[Lpn] {
+        self.map.get(&ppn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of LPNs backed by `ppn`.
+    pub fn count(&self, ppn: Ppn) -> usize {
+        self.map.get(&ppn).map_or(0, Vec::len)
+    }
+
+    /// Remove and return all LPNs of `ppn` (migration: the set will be
+    /// re-added under the destination PPN).
+    pub fn take(&mut self, ppn: Ppn) -> Vec<Lpn> {
+        self.map.remove(&ppn).unwrap_or_default()
+    }
+
+    /// Move every LPN of `from` under `to` (dedup hit during migration:
+    /// the migrated page's references are absorbed by the existing copy).
+    /// Returns how many LPNs moved.
+    pub fn merge_into(&mut self, from: Ppn, to: Ppn) -> usize {
+        let moved = self.take(from);
+        let n = moved.len();
+        if n > 0 {
+            self.map.entry(to).or_default().extend(moved);
+        }
+        n
+    }
+
+    /// Total LPN references across all PPNs (= mapped LPN count; used by
+    /// consistency audits).
+    pub fn total_refs(&self) -> u64 {
+        self.map.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Iterate `(ppn, sharing LPNs)` over all referenced physical pages
+    /// (order unspecified; audits and reports only).
+    pub fn iter(&self) -> impl Iterator<Item = (Ppn, &[Lpn])> {
+        self.map.iter().map(|(&p, v)| (p, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut r = ReverseMap::new();
+        r.add(10, 1);
+        r.add(10, 2);
+        assert_eq!(r.count(10), 2);
+        assert_eq!(r.remove(10, 1), 1);
+        assert_eq!(r.lpns(10), &[2]);
+        assert_eq!(r.remove(10, 2), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked")]
+    fn removing_unknown_ppn_panics() {
+        ReverseMap::new().remove(5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not under")]
+    fn removing_unknown_lpn_panics() {
+        let mut r = ReverseMap::new();
+        r.add(5, 1);
+        r.remove(5, 2);
+    }
+
+    #[test]
+    fn take_empties_the_ppn() {
+        let mut r = ReverseMap::new();
+        r.add(7, 1);
+        r.add(7, 2);
+        let mut taken = r.take(7);
+        taken.sort_unstable();
+        assert_eq!(taken, vec![1, 2]);
+        assert_eq!(r.count(7), 0);
+        assert!(r.take(7).is_empty()); // idempotent on empty
+    }
+
+    #[test]
+    fn merge_into_moves_all_references() {
+        let mut r = ReverseMap::new();
+        r.add(1, 10);
+        r.add(1, 11);
+        r.add(2, 20);
+        assert_eq!(r.merge_into(1, 2), 2);
+        assert_eq!(r.count(1), 0);
+        assert_eq!(r.count(2), 3);
+        assert_eq!(r.total_refs(), 3);
+    }
+
+    #[test]
+    fn merge_from_empty_is_noop() {
+        let mut r = ReverseMap::new();
+        r.add(2, 20);
+        assert_eq!(r.merge_into(1, 2), 0);
+        assert_eq!(r.count(2), 1);
+    }
+
+    #[test]
+    fn duplicate_lpn_entries_are_counted_separately() {
+        // Shouldn't occur in a consistent FTL, but the structure itself is
+        // a multiset and removal takes one occurrence at a time.
+        let mut r = ReverseMap::new();
+        r.add(3, 9);
+        r.add(3, 9);
+        assert_eq!(r.count(3), 2);
+        assert_eq!(r.remove(3, 9), 1);
+        assert_eq!(r.remove(3, 9), 0);
+    }
+}

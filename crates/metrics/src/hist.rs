@@ -1,0 +1,264 @@
+//! Log-bucket latency histogram.
+//!
+//! An HDR-style histogram: values are bucketed by (exponent, mantissa-slice)
+//! with `SUB_BITS` linear sub-buckets per power of two, giving a bounded
+//! relative error of `2^-SUB_BITS` (≈1.6 % with the default 6 bits) across
+//! the full `u64` range in constant memory. Used for response-time
+//! distributions (Fig. 11 means, Fig. 12 CDFs, tail percentiles).
+
+const SUB_BITS: u32 = 6;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Number of top-level (exponent) tiers.
+const TIERS: usize = 64 - SUB_BITS as usize;
+
+/// A fixed-memory log-bucket histogram over `u64` values (nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>, // TIERS * SUB_COUNT
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; TIERS * SUB_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB_COUNT as u64 {
+            return v as usize; // exact in tier 0
+        }
+        // msb >= SUB_BITS here. Values in tier t keep their top SUB_BITS
+        // bits: sub = v >> t lands in [SUB_COUNT/2, SUB_COUNT).
+        let msb = 63 - v.leading_zeros();
+        let tier = (msb - SUB_BITS + 1) as usize;
+        let sub = (v >> tier) as usize;
+        debug_assert!((SUB_COUNT / 2..SUB_COUNT).contains(&sub), "sub {sub} for {v}");
+        tier * SUB_COUNT + sub
+    }
+
+    /// Representative (upper-edge) value of bucket `idx`.
+    fn bucket_value(idx: usize) -> u64 {
+        let tier = idx / SUB_COUNT;
+        let sub = (idx % SUB_COUNT) as u64;
+        if tier == 0 {
+            return sub;
+        }
+        ((sub + 1) << tier) - 1
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record `n` occurrences of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q ∈ [0,1]` (approximate within bucket error;
+    /// min/max are exact at the extremes). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Iterate `(bucket_upper_value, count)` over non-empty buckets,
+    /// ascending — the raw material for CDFs.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_value(i), c))
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_COUNT as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB_COUNT as u64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_COUNT as u64 - 1);
+        // Every small value sits in its own bucket.
+        assert_eq!(h.iter_buckets().count(), SUB_COUNT);
+    }
+
+    #[test]
+    fn mean_is_exact_regardless_of_bucketing() {
+        let mut h = Histogram::new();
+        let values = [12_000u64, 16_000, 1_500_000, 28_000, 44_000];
+        for &v in &values {
+            h.record(v);
+        }
+        let expect = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        assert!((h.mean() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let mut h = Histogram::new();
+        // Latencies spanning us to ms.
+        let mut vals: Vec<u64> = (0..10_000).map(|i| 1_000 + i * 173).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let exact = vals[((q * vals.len() as f64) as usize).min(vals.len() - 1)];
+            let approx = h.quantile(q);
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.05, "q={q}: approx {approx} vs exact {exact} (rel {rel})");
+        }
+        assert_eq!(h.quantile(0.0), *vals.first().unwrap());
+        assert_eq!(h.quantile(1.0), *vals.last().unwrap());
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..37 {
+            a.record(12_345);
+        }
+        b.record_n(12_345, 37);
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1_000);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 1_000);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn buckets_are_monotone_in_value() {
+        let mut prev = 0;
+        for v in (0..1u64 << 40).step_by(1 << 22) {
+            let b = Histogram::bucket_of(v);
+            assert!(b >= prev, "bucket index regressed at {v}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn bucket_value_is_within_bucket() {
+        // For sampled values, bucket_value(bucket_of(v)) must be >= v and
+        // within the relative error bound.
+        for v in [1u64, 63, 64, 65, 127, 128, 1_000, 12_000, 1_500_000, 10_000_000_000] {
+            let bv = Histogram::bucket_value(Histogram::bucket_of(v));
+            assert!(bv >= v, "bucket value {bv} below {v}");
+            assert!((bv as f64) <= v as f64 * 1.04 + 1.0, "bucket value {bv} too far above {v}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the metrics substrate.
+
+use cagc_metrics::{Cdf, Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// The histogram's count/mean/min/max are exact for any input.
+    #[test]
+    fn histogram_exact_moments(values in prop::collection::vec(0u64..10_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6 * mean.max(1.0));
+    }
+
+    /// Quantiles are monotone in q and bounded by [min, max].
+    #[test]
+    fn histogram_quantiles_monotone(values in prop::collection::vec(1u64..100_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile regressed at q={q}");
+            prop_assert!(v >= h.min() && v <= h.max());
+            prev = v;
+        }
+    }
+
+    /// Quantile relative error is bounded by the bucket design (~3.2%).
+    #[test]
+    fn histogram_quantile_error_bounded(values in prop::collection::vec(1u64..1_000_000_000, 10..300)) {
+        let mut h = Histogram::new();
+        let mut sorted = values.clone();
+        for &v in &values {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        for q in [0.25, 0.5, 0.75, 0.9] {
+            let exact = sorted[((q * sorted.len() as f64).ceil() as usize - 1).min(sorted.len() - 1)];
+            let approx = h.quantile(q);
+            // approx is an upper bucket edge near some sample; allow the
+            // bucket's relative width both ways around the exact value.
+            prop_assert!(approx as f64 >= exact as f64 * 0.95 - 2.0,
+                "q={q}: {approx} far below exact {exact}");
+            prop_assert!(approx as f64 <= exact as f64 * 1.05 + 2.0,
+                "q={q}: {approx} far above exact {exact}");
+        }
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concat(a in prop::collection::vec(0u64..1_000_000, 0..200),
+                                 b in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &v in &a { ha.record(v); hc.record(v); }
+        for &v in &b { hb.record(v); hc.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        for q in [0.1, 0.5, 0.9] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+        }
+    }
+
+    /// A CDF built from any histogram is monotone, in [0,1], ends at 1.
+    #[test]
+    fn cdf_is_a_distribution(values in prop::collection::vec(0u64..50_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let c = Cdf::from_histogram(&h);
+        let pts = c.points();
+        prop_assert!(!pts.is_empty());
+        prop_assert!((pts.last().unwrap().fraction - 1.0).abs() < 1e-9);
+        for w in pts.windows(2) {
+            prop_assert!(w[0].value_ns < w[1].value_ns);
+            prop_assert!(w[0].fraction <= w[1].fraction + 1e-12);
+        }
+        for p in pts {
+            prop_assert!(p.fraction > 0.0 && p.fraction <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Welford summary matches naive two-pass computation.
+    #[test]
+    fn summary_matches_two_pass(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut s = Summary::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.std_dev() - var.sqrt()).abs() < 1e-6 * var.sqrt().max(1.0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over `BinaryHeap` that delivers events in nondecreasing
+//! timestamp order with **FIFO tie-breaking**: two events pushed at the same
+//! simulated timestamp pop in push order. `BinaryHeap` alone does not
+//! guarantee that, and determinism is a hard requirement for reproducible
+//! experiments (same seed ⇒ same report, bit for bit).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// An event scheduled at simulated time [`Event::at`], carrying `payload`.
+#[derive(Debug, Clone)]
+pub struct Event<P> {
+    /// Simulated timestamp at which the event fires.
+    pub at: Nanos,
+    /// Monotonic sequence number assigned at push time (FIFO tie-break).
+    pub seq: u64,
+    /// The caller's payload.
+    pub payload: P,
+}
+
+// Ordering is (at, seq), inverted so BinaryHeap's max-heap pops the minimum.
+struct HeapEntry<P>(Event<P>);
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<P> Eq for HeapEntry<P> {}
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest (at, seq) should be the heap maximum.
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// Deterministic min-priority event queue keyed by timestamp.
+///
+/// ```
+/// use cagc_sim::event::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(30, "late");
+/// q.push(10, "first");
+/// q.push(10, "second"); // same time: FIFO
+/// assert_eq!(q.pop().unwrap().payload, "first");
+/// assert_eq!(q.pop().unwrap().payload, "second");
+/// assert_eq!(q.pop().unwrap().payload, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<P> {
+    heap: BinaryHeap<HeapEntry<P>>,
+    next_seq: u64,
+}
+
+impl<P> EventQueue<P> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// An empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+    }
+
+    /// Schedule `payload` at time `at`. Returns the assigned sequence number.
+    pub fn push(&mut self, at: Nanos, payload: P) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event { at, seq, payload }));
+        seq
+    }
+
+    /// Remove and return the earliest event (FIFO among equal timestamps).
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events (sequence numbering continues).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<P> std::fmt::Debug for EventQueue<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(50, 'c');
+        q.push(10, 'a');
+        q.push(30, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(42, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(7, ());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        q.push(15, 3);
+        q.push(5, 4); // earlier than everything pending
+        assert_eq!(q.pop().unwrap().payload, 4);
+        assert_eq!(q.pop().unwrap().payload, 3);
+        assert_eq!(q.pop().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(1, ());
+        q.push(2, ());
+        q.clear();
+        assert!(q.is_empty());
+        // Sequence numbers keep increasing after clear, preserving global FIFO.
+        let s = q.push(3, ());
+        assert!(s >= 2);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_order() {
+        let build = || {
+            let mut q = EventQueue::new();
+            // A mix of duplicate and distinct timestamps.
+            for (t, p) in [(5, 0), (3, 1), (5, 2), (1, 3), (3, 4), (5, 5)] {
+                q.push(t, p);
+            }
+            std::iter::from_fn(move || q.pop().map(|e| (e.at, e.payload))).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+        assert_eq!(build(), vec![(1, 3), (3, 1), (3, 4), (5, 0), (5, 2), (5, 5)]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the simulation substrate.
+
+use cagc_sim::event::EventQueue;
+use cagc_sim::time::Nanos;
+use cagc_sim::timeline::Timeline;
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in nondecreasing timestamp order, and ties preserve
+    /// push (FIFO) order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut prev: Option<(Nanos, usize)> = None;
+        while let Some(ev) = q.pop() {
+            if let Some((pt, pi)) = prev {
+                prop_assert!(ev.at >= pt, "time went backwards");
+                if ev.at == pt {
+                    prop_assert!(ev.payload > pi, "FIFO violated on tie");
+                }
+            }
+            prev = Some((ev.at, ev.payload));
+        }
+    }
+
+    /// Popping a queue returns exactly the multiset of pushed payloads.
+    #[test]
+    fn event_queue_loses_nothing(times in prop::collection::vec(0u64..100, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// Timeline invariants: service is in-order and non-overlapping, every
+    /// reservation starts no earlier than requested, and total busy time is
+    /// the sum of durations.
+    #[test]
+    fn timeline_reservations_never_overlap(
+        ops in prop::collection::vec((0u64..10_000, 1u64..500), 1..200)
+    ) {
+        let mut t = Timeline::new();
+        let mut prev_end = 0u64;
+        let mut total = 0u64;
+        for &(ready, dur) in &ops {
+            let r = t.reserve(ready, dur);
+            prop_assert!(r.start >= ready);
+            prop_assert!(r.start >= prev_end, "overlapping service");
+            prop_assert_eq!(r.end, r.start + dur);
+            prop_assert_eq!(r.queued, r.start - ready);
+            prev_end = r.end;
+            total += dur;
+        }
+        prop_assert_eq!(t.busy_total(), total);
+        prop_assert_eq!(t.next_free(), prev_end);
+        prop_assert_eq!(t.ops(), ops.len() as u64);
+    }
+
+    /// With monotone nondecreasing arrivals the queueing delay telescopes:
+    /// completion of the k-th op equals max over prefixes of
+    /// (arrival_i + sum of durations i..=k).
+    #[test]
+    fn timeline_matches_lindley_recurrence(
+        ops in prop::collection::vec((0u64..1_000, 1u64..100), 1..100)
+    ) {
+        // Sort arrivals to form a valid arrival process.
+        let mut arrivals: Vec<(u64, u64)> = ops;
+        arrivals.sort_by_key(|&(a, _)| a);
+        let mut t = Timeline::new();
+        let mut lindley_end = 0u64; // Lindley: W_k = max(A_k, C_{k-1}) + S_k
+        for &(a, s) in &arrivals {
+            let r = t.reserve(a, s);
+            lindley_end = a.max(lindley_end) + s;
+            prop_assert_eq!(r.end, lindley_end);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Trace file parsing and writing.
+//!
+//! Two text formats:
+//!
+//! * **Native** — one request per line, written and read by this crate:
+//!   ```text
+//!   # time_us  op  lpn  pages  [contents]
+//!   0      W  128  2  17,17
+//!   1500   R  128  2
+//!   2000   T  128  2
+//!   ```
+//!   Contents are comma-separated decimal content ids, one per page,
+//!   required for `W`, forbidden otherwise.
+//!
+//! * **FIU-style** — the layout of the SyLab "IODedup" traces the paper
+//!   replays (`ts pid process lba size op major minor hash`), where `lba`
+//!   is in 512-byte sectors, `size` in sectors, and `hash` is the per-4KB
+//!   content hash. Only the fields the simulator needs are consumed; the
+//!   hash string is folded to a [`ContentId`]. This lets the real traces
+//!   drop in when available.
+
+use crate::trace::{OpKind, Request, Trace};
+use cagc_dedup::ContentId;
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parse the native format. `logical_pages` bounds the trace's space.
+pub fn parse_native(name: &str, logical_pages: u64, text: &str) -> Result<Trace, ParseError> {
+    let mut requests = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let time_us: u64 = fields
+            .next()
+            .ok_or_else(|| err(lineno, "missing time"))?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad time: {e}")))?;
+        let op = fields.next().ok_or_else(|| err(lineno, "missing op"))?;
+        let lpn: u64 = fields
+            .next()
+            .ok_or_else(|| err(lineno, "missing lpn"))?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad lpn: {e}")))?;
+        let pages: u32 = fields
+            .next()
+            .ok_or_else(|| err(lineno, "missing pages"))?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad pages: {e}")))?;
+        let at_ns = time_us * 1_000;
+        let req = match op {
+            "R" => Request::read(at_ns, lpn, pages),
+            "T" => Request::trim(at_ns, lpn, pages),
+            "W" => {
+                let contents_field =
+                    fields.next().ok_or_else(|| err(lineno, "write missing contents"))?;
+                let contents: Vec<ContentId> = contents_field
+                    .split(',')
+                    .map(|c| c.parse::<u64>().map(ContentId))
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| err(lineno, format!("bad content id: {e}")))?;
+                if contents.len() != pages as usize {
+                    return Err(err(
+                        lineno,
+                        format!("{} contents for {} pages", contents.len(), pages),
+                    ));
+                }
+                Request::write(at_ns, lpn, contents)
+            }
+            other => return Err(err(lineno, format!("unknown op `{other}`"))),
+        };
+        if let Some(extra) = fields.next() {
+            return Err(err(lineno, format!("trailing field `{extra}`")));
+        }
+        requests.push(req);
+    }
+    let trace = Trace { name: name.to_string(), logical_pages, requests };
+    trace.validate().map_err(|m| err(0, m))?;
+    Ok(trace)
+}
+
+/// Render a trace in the native format (round-trips through
+/// [`parse_native`]).
+pub fn write_native(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("# time_us op lpn pages [contents]\n");
+    for r in &trace.requests {
+        let t = r.at_ns / 1_000;
+        match r.kind {
+            OpKind::Read => out.push_str(&format!("{t} R {} {}\n", r.lpn, r.pages)),
+            OpKind::Trim => out.push_str(&format!("{t} T {} {}\n", r.lpn, r.pages)),
+            OpKind::Write => {
+                let contents: Vec<String> =
+                    r.contents.iter().map(|c| c.0.to_string()).collect();
+                out.push_str(&format!("{t} W {} {} {}\n", r.lpn, r.pages, contents.join(",")));
+            }
+        }
+    }
+    out
+}
+
+/// Parse an FIU SyLab-style line set.
+///
+/// Layout per line: `ts_ns pid process lba_sectors size_sectors op major
+/// minor hash` with `op` ∈ {R, W} (case-insensitive). Sector addresses are
+/// converted to 4 KB pages (8 sectors/page, rounded down/up to cover the
+/// extent); each written page receives the line's content hash.
+pub fn parse_fiu(name: &str, logical_pages: u64, text: &str) -> Result<Trace, ParseError> {
+    const SECTORS_PER_PAGE: u64 = 8;
+    let mut requests: Vec<Request> = Vec::new();
+    let mut t0: Option<u64> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() < 9 {
+            return Err(err(lineno, format!("expected 9 fields, got {}", f.len())));
+        }
+        let ts: u64 =
+            f[0].parse().map_err(|e| err(lineno, format!("bad timestamp: {e}")))?;
+        let lba: u64 = f[3].parse().map_err(|e| err(lineno, format!("bad lba: {e}")))?;
+        let sectors: u64 =
+            f[4].parse().map_err(|e| err(lineno, format!("bad size: {e}")))?;
+        if sectors == 0 {
+            return Err(err(lineno, "zero-sector request"));
+        }
+        let first_page = lba / SECTORS_PER_PAGE;
+        let last_page = (lba + sectors - 1) / SECTORS_PER_PAGE;
+        let pages = (last_page - first_page + 1) as u32;
+        let lpn = first_page % logical_pages.max(1);
+        let pages = pages.min((logical_pages - lpn) as u32).max(1);
+        let t0v = *t0.get_or_insert(ts);
+        let at_ns = ts.saturating_sub(t0v);
+        let req = match f[5] {
+            "R" | "r" => Request::read(at_ns, lpn, pages),
+            "W" | "w" => {
+                // Hash string -> ContentId: fold the hex (or arbitrary
+                // string) into 64 bits. Per-page uniqueness within a
+                // multi-page request: offset the id by page index, matching
+                // how the FIU collector hashed 4KB units.
+                let base = fold_hash(f[8]);
+                let contents =
+                    (0..pages as u64).map(|p| ContentId(base ^ p)).collect();
+                Request::write(at_ns, lpn, contents)
+            }
+            other => return Err(err(lineno, format!("unknown op `{other}`"))),
+        };
+        requests.push(req);
+    }
+    requests.sort_by_key(|r| r.at_ns);
+    let trace = Trace { name: name.to_string(), logical_pages, requests };
+    trace.validate().map_err(|m| err(0, m))?;
+    Ok(trace)
+}
+
+/// Fold an arbitrary hash string to 64 bits (FNV-1a).
+fn fold_hash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_round_trip() {
+        let text = "\
+# a comment
+0 W 10 2 5,6
+
+1500 R 10 2
+2000 T 10 2
+";
+        let t = parse_native("rt", 100, text).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.requests[0].contents, vec![ContentId(5), ContentId(6)]);
+        assert_eq!(t.requests[1].at_ns, 1_500_000);
+        let rendered = write_native(&t);
+        let t2 = parse_native("rt", 100, &rendered).unwrap();
+        assert_eq!(t.requests, t2.requests);
+    }
+
+    #[test]
+    fn native_rejects_bad_input_with_line_numbers() {
+        assert_eq!(parse_native("x", 10, "0 W 0 1").unwrap_err().line, 1);
+        assert_eq!(parse_native("x", 10, "0 R 0 1\n5 Q 0 1").unwrap_err().line, 2);
+        assert!(parse_native("x", 10, "0 W 0 2 1")
+            .unwrap_err()
+            .message
+            .contains("1 contents for 2 pages"));
+        assert!(parse_native("x", 10, "0 R 0 1 zz").unwrap_err().message.contains("trailing"));
+        assert!(parse_native("x", 10, "abc R 0 1").unwrap_err().message.contains("bad time"));
+    }
+
+    #[test]
+    fn native_rejects_time_regression_via_validate() {
+        let e = parse_native("x", 10, "5 R 0 1\n1 R 0 1").unwrap_err();
+        assert!(e.message.contains("backwards"));
+    }
+
+    #[test]
+    fn fiu_style_lines_parse() {
+        let text = "\
+1000000 321 mailsrv 80 16 W 8 1 4af1c56b9d
+2000000 321 mailsrv 80 16 R 8 1 0
+3000000 321 mailsrv 96 8 W 8 1 4af1c56b9d
+";
+        let t = parse_fiu("fiu", 1_000, text).unwrap();
+        assert_eq!(t.len(), 3);
+        // 80 sectors / 8 = page 10; 16 sectors = 2 pages.
+        assert_eq!(t.requests[0].lpn, 10);
+        assert_eq!(t.requests[0].pages, 2);
+        // Identical hash => first page of request 3 duplicates page 10's
+        // content.
+        assert_eq!(t.requests[2].contents[0], t.requests[0].contents[0]);
+        // Timestamps are rebased to the first record.
+        assert_eq!(t.requests[0].at_ns, 0);
+        assert_eq!(t.requests[1].at_ns, 1_000_000);
+    }
+
+    #[test]
+    fn fiu_rejects_malformed() {
+        assert!(parse_fiu("x", 100, "1 2 3").is_err());
+        assert!(parse_fiu("x", 100, "1 p m 0 0 W 8 1 h").unwrap_err().message.contains("zero"));
+        assert!(parse_fiu("x", 100, "1 p m 0 8 X 8 1 h").unwrap_err().message.contains("unknown op"));
+    }
+
+    #[test]
+    fn fold_hash_is_stable_and_spreads() {
+        assert_eq!(fold_hash("abc"), fold_hash("abc"));
+        assert_ne!(fold_hash("abc"), fold_hash("abd"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Approximate Zipf rank sampling.
+//!
+//! Skewed popularity drives both LPN access locality and content reuse in
+//! the synthetic workloads. We use the continuous inverse-CDF
+//! approximation: for skew `theta ∈ [0, 1)`, draw `u ∼ U(0,1)` and return
+//! `rank = ⌊n · u^(1/(1−theta))⌋`, which gives `P(rank ≤ k) ≈ (k/n)^(1−theta)`
+//! — the standard bounded-Pareto stand-in for a Zipf law. It is exact for
+//! `theta = 0` (uniform), cheap (no per-`n` zeta precomputation, so the
+//! support may grow every request), and deterministic under a seeded RNG.
+
+use rand::Rng;
+
+/// A Zipf-like sampler over `{0, 1, …}` with rank 0 most popular.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Skew `theta ∈ [0, 1)`: 0 = uniform, → 1 = extremely skewed.
+    ///
+    /// # Panics
+    /// Panics outside `[0, 1)`.
+    pub fn new(theta: f64) -> Self {
+        assert!((0.0..1.0).contains(&theta), "zipf theta {theta} outside [0,1)");
+        Self { exponent: 1.0 / (1.0 - theta) }
+    }
+
+    /// Sample a rank in `[0, n)`. Returns 0 for `n <= 1`.
+    pub fn sample<R: Rng>(&self, n: u64, rng: &mut R) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        let u: f64 = rng.gen();
+        let r = (n as f64 * u.powf(self.exponent)) as u64;
+        r.min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_counts(theta: f64, n: u64, draws: usize) -> Vec<u64> {
+        let z = Zipf::new(theta);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[z.sample(n, &mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let counts = sample_counts(0.0, 10, 100_000);
+        let expect = 10_000.0;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.1, "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_low_ranks() {
+        let counts = sample_counts(0.9, 1000, 100_000);
+        let head: u64 = counts[..10].iter().sum();
+        // With theta=0.9, P(rank < 10 of 1000) ≈ (10/1000)^0.1 ≈ 0.63.
+        assert!(head > 50_000, "head mass {head} too small for theta=0.9");
+        // And popularity decays with rank.
+        assert!(counts[0] > counts[100]);
+        assert!(counts[100] >= counts[900].saturating_sub(50));
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(0.99);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for n in [1u64, 2, 3, 1000] {
+            for _ in 0..1000 {
+                assert!(z.sample(n, &mut rng) < n);
+            }
+        }
+        assert_eq!(z.sample(0, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn theta_one_rejected() {
+        Zipf::new(1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(0.8);
+        let a: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(3);
+            (0..100).map(|_| z.sample(500, &mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(3);
+            (0..100).map(|_| z.sample(500, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! Victim-selection policy study (the paper's Sec. IV-C sensitivity
+//! analysis): run Baseline and CAGC under Random, Greedy and Cost-Benefit
+//! victim selection on a Web-vm-like workload and compare.
+//!
+//! ```bash
+//! cargo run --release --example gc_policy_study
+//! ```
+
+use cagc::flash::UllConfig;
+use cagc::metrics::{reduction_pct, Table};
+use cagc::prelude::*;
+
+fn main() {
+    let flash = UllConfig::scaled_gb(1);
+    let footprint = (flash.logical_pages() as f64 * 0.95) as u64;
+    let trace = FiuWorkload::WebVm.synth_config(footprint, 60_000, 11).generate();
+
+    println!("== GC policy sensitivity on Web-vm (paper Fig. 13) ==\n");
+
+    let mut cells = Vec::new();
+    for policy in VictimKind::EXTENDED {
+        for scheme in [Scheme::Baseline, Scheme::Cagc] {
+            let mut cfg = SsdConfig::paper(flash, scheme);
+            cfg.victim = policy;
+            cells.push((cfg, &trace));
+        }
+    }
+    let reports = run_cells(&cells, 0);
+
+    let mut t = Table::new(vec![
+        "Policy", "Scheme", "Blocks erased", "Pages migrated", "Mean resp", "Wear (max-min)",
+    ]);
+    for r in &reports {
+        t.row(vec![
+            r.victim.clone(),
+            r.scheme.clone(),
+            r.gc.blocks_erased.to_string(),
+            r.gc.pages_migrated.to_string(),
+            format!("{:.1}us", r.all.mean_ns / 1000.0),
+            format!("{}", r.wear.1 - r.wear.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("CAGC's reduction vs Baseline under each policy:");
+    for (i, policy) in VictimKind::EXTENDED.into_iter().enumerate() {
+        let base = &reports[i * 2];
+        let cagc = &reports[i * 2 + 1];
+        println!(
+            "  {:<13} erases -{:.1}%  migrations -{:.1}%  response -{:.1}%",
+            policy.name(),
+            reduction_pct(base.gc.blocks_erased as f64, cagc.gc.blocks_erased as f64),
+            reduction_pct(base.gc.pages_migrated as f64, cagc.gc.pages_migrated as f64),
+            reduction_pct(base.all.mean_ns, cagc.all.mean_ns),
+        );
+    }
+    println!(
+        "\nThe paper's point: CAGC is orthogonal to the victim policy — the\n\
+         improvement holds under every selection algorithm (the paper evaluates\n\
+         the first three; FIFO and D-Choices are extensions of this reproduction)."
+    );
+}

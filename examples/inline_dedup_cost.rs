@@ -1,0 +1,83 @@
+//! The paper's motivation experiment (Fig. 2): what inline deduplication
+//! costs on an ultra-low-latency SSD that is *not* under GC pressure.
+//!
+//! On a fresh device, every written page pays the 14 µs fingerprint
+//! latency plus index lookup before its 16 µs program — on Z-NAND-class
+//! flash that is comparable to the flash operation itself, so the write
+//! path nearly doubles. The same experiment on a conventional NVMe SSD
+//! (500 µs programs) shows why nobody noticed before: there the hash is
+//! noise.
+//!
+//! ```bash
+//! cargo run --release --example inline_dedup_cost
+//! ```
+
+use cagc::flash::{Timing, UllConfig};
+use cagc::prelude::*;
+
+fn run_pair(flash: UllConfig, trace: &Trace) -> (RunReport, RunReport) {
+    let cells = vec![
+        (SsdConfig::paper(flash, Scheme::Baseline), trace),
+        (SsdConfig::paper(flash, Scheme::InlineDedup), trace),
+    ];
+    let mut reports = run_cells(&cells, 0);
+    let inline = reports.pop().expect("inline report");
+    let base = reports.pop().expect("baseline report");
+    (base, inline)
+}
+
+fn main() {
+    let ull = UllConfig::scaled_gb(1);
+    // Small footprint, bounded volume: the device never reaches the GC
+    // watermark, isolating the write-path cost (the Fig. 2 regime).
+    let footprint = (ull.logical_pages() as f64 * 0.15) as u64;
+
+    println!("== Inline dedup cost on a fresh device (paper Fig. 2) ==\n");
+    println!("workload  flash      baseline   inline     penalty");
+    for w in FiuWorkload::ALL {
+        let requests = (ull.geometry().total_pages() / 4) as f64
+            / (w.write_ratio() * w.mean_req_pages());
+        let mut cfg = w.synth_config(footprint, requests as usize, 3);
+        cfg.prefill_fraction = 0.5;
+        let trace = cfg.generate();
+
+        // Ultra-low-latency flash: the paper's subject.
+        let (base, inline) = run_pair(ull, &trace);
+        assert_eq!(base.gc.invocations, 0, "regime must be GC-free");
+        println!(
+            "{:<9} {:<10} {:>9.1}us  {:>9.1}us  {:+.1}%",
+            w.name(),
+            "Z-NAND",
+            base.all.mean_ns / 1000.0,
+            inline.all.mean_ns / 1000.0,
+            (inline.all.mean_ns / base.all.mean_ns - 1.0) * 100.0
+        );
+
+        // Conventional NVMe flash (500us programs): the same experiment,
+        // with all pacing slowed ~40x to match the medium — a slow drive
+        // serves a proportionally slower request stream; what matters is
+        // the hash cost *relative to the flash program*, not absolute load.
+        cfg.mean_interarrival_ns *= 40;
+        cfg.burst_gap_ns *= 40;
+        cfg.prefill_gap_ns_per_page *= 40;
+        let slow_trace = cfg.generate();
+        let mut nvme = ull;
+        nvme.timing = Timing::conventional_nvme();
+        let (base_n, inline_n) = run_pair(nvme, &slow_trace);
+        println!(
+            "{:<9} {:<10} {:>9.1}us  {:>9.1}us  {:+.1}%",
+            "",
+            "conv-NVMe",
+            base_n.all.mean_ns / 1000.0,
+            inline_n.all.mean_ns / 1000.0,
+            (inline_n.all.mean_ns / base_n.all.mean_ns - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\npaper: on Z-NAND, inline dedup raised response times up to 71.9% (avg 43.1%).\n\
+         Note the inversion: on conventional flash inline dedup *helps* (the 14us\n\
+         hash is noise next to a 500us program, and every dedup hit skips one),\n\
+         while on ultra-low-latency flash the same hash dominates the write path.\n\
+         That inversion is why dedup-in-GC (CAGC) only became necessary with ULL media."
+    );
+}

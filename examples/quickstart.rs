@@ -1,0 +1,84 @@
+//! Quickstart: the paper's Fig. 8 scenario, end to end.
+//!
+//! Four files are written sharing content chunks (Fig. 1: File1=ABCD,
+//! File2=EBF, File3=DAB, File4=BG — chunk B is in all four). We then force
+//! a GC pass over the block holding them and compare what a traditional
+//! (Baseline) FTL does with what CAGC does:
+//!
+//! * Baseline migrates all 12 valid pages (12 programs);
+//! * CAGC fingerprints them during migration and writes each unique chunk
+//!   once: **7 programs, 5 redundant writes eliminated** — the exact
+//!   counts of Fig. 8(b).
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use cagc::prelude::*;
+
+/// Stage the scenario on one SSD and force GC over the file block.
+fn run(scheme: Scheme) -> RunReport {
+    let mut ssd = Ssd::new(SsdConfig::tiny(scheme));
+    let mut t = 0u64;
+    let mut tick = || {
+        t += 1_000_000;
+        t
+    };
+
+    // The four files: 12 chunk pages at LPNs 0..12 (contents 1..=7 are
+    // A..=G). They land in flash block 0, pages 0..12.
+    let files: [&[u64]; 4] = [&[1, 2, 3, 4], &[5, 2, 6], &[4, 1, 2], &[2, 7]];
+    let mut lpn = 0;
+    for chunks in files {
+        let contents = chunks.iter().map(|&c| ContentId(c)).collect();
+        ssd.process(&Request::write(tick(), lpn, contents));
+        lpn += chunks.len() as u64;
+    }
+
+    // Fill the rest of block 0 with scratch (LPNs 100..120), then
+    // overwrite that scratch once: block 0 now holds 12 valid file pages
+    // and 20 invalid pages — and is the only block with anything to
+    // reclaim, so the greedy policy must pick it when GC triggers.
+    for i in 0..20 {
+        ssd.process(&Request::write(tick(), 100 + i, vec![ContentId(1_000 + i)]));
+    }
+    for i in 0..20 {
+        ssd.process(&Request::write(tick(), 100 + i, vec![ContentId(2_000 + i)]));
+    }
+
+    // Collect the block: with greedy selection it is the only candidate.
+    ssd.force_gc(tick());
+    assert!(ssd.gc_stats().blocks_erased > 0, "GC must have reclaimed the file block");
+
+    // Now delete files 2 and 4 (LPNs 4..7 and 10..12), per the scenario.
+    ssd.process(&Request::trim(tick(), 4, 3));
+    ssd.process(&Request::trim(tick(), 10, 2));
+
+    ssd.audit().expect("consistency audit");
+    ssd.report("fig8")
+}
+
+fn main() {
+    println!("== CAGC quickstart: Fig. 8 — four files, shared chunks, one GC pass ==\n");
+    println!("files: 12 chunk writes over 7 unique contents (B shared by all four files)\n");
+
+    let base = run(Scheme::Baseline);
+    let cagc = run(Scheme::Cagc);
+
+    for r in [&base, &cagc] {
+        println!(
+            "{:<9} GC of the file block: {:>2} pages migrated, {:>2} redundant writes eliminated",
+            r.scheme, r.gc.pages_migrated, r.gc.dedup_hits
+        );
+    }
+
+    assert_eq!(base.gc.pages_migrated, 12, "baseline must copy every valid page");
+    assert_eq!(cagc.gc.pages_migrated, 7, "CAGC writes each unique chunk once (Fig. 8b)");
+    assert_eq!(cagc.gc.dedup_hits, 5, "5 of 12 pages were duplicates (B x3, A, D)");
+
+    println!(
+        "\nExactly Fig. 8: the traditional GC performs 12 page writes where CAGC\n\
+         performs 7, because migration-time fingerprinting absorbs the duplicate\n\
+         copies of chunks A, B and D into single stored pages with reference counts."
+    );
+}

@@ -1,0 +1,135 @@
+//! Cross-crate invariants: property tests that drive the full stack
+//! (workload generator → SSD → FTL → flash → dedup) and check global
+//! consistency after every run.
+
+use cagc::prelude::*;
+use proptest::prelude::*;
+
+fn tiny_trace(
+    seed: u64,
+    requests: usize,
+    dedup_ratio: f64,
+    write_ratio: f64,
+    footprint_frac: f64,
+) -> Trace {
+    let flash = UllConfig::tiny_for_tests();
+    SynthConfig {
+        name: "prop".into(),
+        requests,
+        logical_pages: ((flash.logical_pages() as f64) * footprint_frac).max(64.0) as u64,
+        write_ratio,
+        dedup_ratio,
+        mean_req_pages: 2.5,
+        max_req_pages: 8,
+        mean_interarrival_ns: 300_000,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the workload shape, every scheme ends in a consistent
+    /// state: forward/reverse maps agree, refcounts equal sharer counts,
+    /// valid-page accounting balances, the fingerprint index audits clean.
+    #[test]
+    fn all_schemes_stay_consistent(
+        seed in 0u64..1_000,
+        dedup in 0.0f64..0.95,
+        wr in 0.3f64..0.95,
+        fp in 0.3f64..0.9,
+    ) {
+        let trace = tiny_trace(seed, 3_000, dedup, wr, fp);
+        for scheme in Scheme::EXTENDED {
+            let mut ssd = Ssd::new(SsdConfig::tiny(scheme));
+            let report = ssd.replay(&trace);
+            ssd.audit().map_err(|e| {
+                TestCaseError::fail(format!("{}: {e}", scheme.name()))
+            })?;
+            // Conservation: every flash program is either a user program
+            // or a GC migration.
+            prop_assert_eq!(
+                report.total_programs,
+                report.user_programs + report.gc.pages_migrated,
+                "{} program accounting", scheme.name()
+            );
+            // Latency sanity: nothing completes before it arrives, and the
+            // fastest possible request is a 1us controller miss.
+            prop_assert!(report.all.count == trace.len() as u64);
+            if report.all.count > 0 {
+                prop_assert!(report.all.mean_ns >= 1_000.0 - 1e-9);
+                prop_assert!(report.all.max_ns >= report.all.p999_ns);
+            }
+        }
+    }
+
+    /// Dedup never loses data: after any run, reading every mapped LPN hits
+    /// a valid physical page (checked inside audit), and the number of
+    /// unique stored pages never exceeds the number of unique contents.
+    #[test]
+    fn dedup_respects_content_bounds(seed in 0u64..1_000, dedup in 0.3f64..0.95) {
+        let trace = tiny_trace(seed, 3_000, dedup, 0.8, 0.5);
+        let profile = TraceProfile::of(&trace);
+        let mut ssd = Ssd::new(SsdConfig::tiny(Scheme::InlineDedup));
+        let report = ssd.replay(&trace);
+        ssd.audit().map_err(TestCaseError::fail)?;
+        // Every inline user program registers exactly one new fingerprint
+        // (a content is re-programmed only after its previous copy's last
+        // reference died and the entry was removed).
+        prop_assert_eq!(
+            report.user_programs, report.index.inserts,
+            "every unique program must insert a fingerprint"
+        );
+        // And the number of *live* unique pages can never exceed the
+        // number of distinct contents in the trace.
+        prop_assert!(
+            report.user_programs <= profile.written_pages,
+            "programs cannot exceed written pages"
+        );
+        prop_assert!(
+            report.index.hits + report.index.inserts <= report.index.lookups,
+            "index accounting"
+        );
+    }
+
+    /// GC accounting: blocks erased equals device-level erase count, and
+    /// each erase reclaims at least one page (no busywork erases of
+    /// fully-valid blocks).
+    #[test]
+    fn gc_accounting_balances(seed in 0u64..1_000) {
+        let trace = tiny_trace(seed, 6_000, 0.5, 0.85, 0.85);
+        for scheme in Scheme::EXTENDED {
+            let report = run_cell(SsdConfig::tiny(scheme), &trace);
+            prop_assert_eq!(report.total_erases, report.gc.blocks_erased);
+            if report.gc.blocks_erased > 0 {
+                let pages_per_block = 32u64; // tiny_for_tests
+                let reclaimable = report.gc.blocks_erased * pages_per_block;
+                prop_assert!(
+                    report.gc.pages_migrated < reclaimable,
+                    "{}: migrated {} of {} reclaimed pages — GC made no net progress",
+                    scheme.name(),
+                    report.gc.pages_migrated,
+                    reclaimable
+                );
+            }
+        }
+    }
+
+    /// The Fig. 6 histogram is a distribution: buckets sum to the number of
+    /// content invalidations, and with duplicate-heavy traffic at least
+    /// some mass lands beyond refcount 1.
+    #[test]
+    fn refcount_histogram_is_a_distribution(seed in 0u64..1_000) {
+        let trace = tiny_trace(seed, 5_000, 0.85, 0.85, 0.6);
+        let report = run_cell(SsdConfig::tiny(Scheme::InlineDedup), &trace);
+        let total: u64 = report.invalidation_by_refcount.iter().sum();
+        if total > 500 {
+            prop_assert!(
+                report.invalidation_by_refcount[0] > 0,
+                "no refcount-1 invalidations at all"
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The paper's qualitative results, asserted at integration-test scale.
+//!
+//! These are the small/fast versions of what `repro` measures at full
+//! scale: who wins, in which direction, with which workload ordering. The
+//! quantitative comparison against the published numbers lives in
+//! EXPERIMENTS.md.
+
+use cagc::prelude::*;
+
+/// Aged-device trace at test scale for one FIU-like workload.
+fn aged_trace(w: FiuWorkload, seed: u64) -> Trace {
+    let flash = UllConfig::tiny_for_tests();
+    let footprint = (flash.logical_pages() as f64 * 0.95) as u64;
+    w.synth_config(footprint, 25_000, seed)
+        .generate()
+}
+
+fn run(w: FiuWorkload, scheme: Scheme, seed: u64) -> RunReport {
+    run_cell(SsdConfig::tiny(scheme), &aged_trace(w, seed))
+}
+
+#[test]
+fn fig9_shape_cagc_erases_fewer_blocks_everywhere() {
+    for w in FiuWorkload::ALL {
+        let base = run(w, Scheme::Baseline, 5);
+        let cagc = run(w, Scheme::Cagc, 5);
+        assert!(
+            cagc.gc.blocks_erased < base.gc.blocks_erased,
+            "{}: CAGC {} vs baseline {}",
+            w.name(),
+            cagc.gc.blocks_erased,
+            base.gc.blocks_erased
+        );
+    }
+}
+
+#[test]
+fn fig9_shape_improvement_tracks_dedup_ratio() {
+    // Mail (89% dedup) must improve much more than Homes (30%).
+    let rel = |w| {
+        let base = run(w, Scheme::Baseline, 9);
+        let cagc = run(w, Scheme::Cagc, 9);
+        cagc.gc.blocks_erased as f64 / base.gc.blocks_erased.max(1) as f64
+    };
+    let homes = rel(FiuWorkload::Homes);
+    let mail = rel(FiuWorkload::Mail);
+    assert!(
+        mail < homes - 0.1,
+        "Mail should improve far more than Homes (mail {mail:.2}, homes {homes:.2})"
+    );
+}
+
+#[test]
+fn fig10_shape_cagc_migrates_fewer_pages_everywhere() {
+    for w in FiuWorkload::ALL {
+        let base = run(w, Scheme::Baseline, 7);
+        let cagc = run(w, Scheme::Cagc, 7);
+        assert!(
+            cagc.gc.pages_migrated < base.gc.pages_migrated,
+            "{}: CAGC {} vs baseline {}",
+            w.name(),
+            cagc.gc.pages_migrated,
+            base.gc.pages_migrated
+        );
+    }
+}
+
+#[test]
+fn fig11_shape_cagc_beats_baseline_on_mail_response() {
+    // Mail is the paper's headline (-70.1% during GC periods).
+    let base = run(FiuWorkload::Mail, Scheme::Baseline, 11);
+    let cagc = run(FiuWorkload::Mail, Scheme::Cagc, 11);
+    assert!(
+        cagc.gc_period_mean_ns() < base.gc_period_mean_ns() * 0.9,
+        "CAGC GC-period mean {:.0}us vs baseline {:.0}us",
+        cagc.gc_period_mean_ns() / 1000.0,
+        base.gc_period_mean_ns() / 1000.0
+    );
+    assert!(cagc.all.mean_ns < base.all.mean_ns);
+}
+
+#[test]
+fn fig12_shape_cagc_tail_dominates_baseline_on_mail() {
+    let base = run(FiuWorkload::Mail, Scheme::Baseline, 13);
+    let cagc = run(FiuWorkload::Mail, Scheme::Cagc, 13);
+    // Stochastic dominance at the reported tail points.
+    for q in [0.8, 0.95, 0.99] {
+        assert!(
+            cagc.cdf.value_at(q) <= base.cdf.value_at(q),
+            "q={q}: CAGC {} > baseline {}",
+            cagc.cdf.value_at(q),
+            base.cdf.value_at(q)
+        );
+    }
+}
+
+#[test]
+fn fig13_shape_cagc_wins_under_every_victim_policy() {
+    let trace = aged_trace(FiuWorkload::WebVm, 17);
+    for policy in VictimKind::ALL {
+        let mut base_cfg = SsdConfig::tiny(Scheme::Baseline);
+        base_cfg.victim = policy;
+        let mut cagc_cfg = SsdConfig::tiny(Scheme::Cagc);
+        cagc_cfg.victim = policy;
+        let base = run_cell(base_cfg, &trace);
+        let cagc = run_cell(cagc_cfg, &trace);
+        assert!(
+            cagc.gc.blocks_erased < base.gc.blocks_erased,
+            "{:?}: erases {} vs {}",
+            policy,
+            cagc.gc.blocks_erased,
+            base.gc.blocks_erased
+        );
+        assert!(
+            cagc.gc.pages_migrated < base.gc.pages_migrated,
+            "{:?}: migrations {} vs {}",
+            policy,
+            cagc.gc.pages_migrated,
+            base.gc.pages_migrated
+        );
+    }
+}
+
+#[test]
+fn fig6_shape_refcount1_dominates_invalidations() {
+    // Measured on inline-dedupe so every page is tracked from first write.
+    let report = run(FiuWorkload::Mail, Scheme::InlineDedup, 19);
+    let b = report.invalidation_by_refcount;
+    let total: u64 = b.iter().sum();
+    assert!(total > 1_000, "not enough invalidations to measure");
+    let ref1 = b[0] as f64 / total as f64;
+    let gt3 = b[3] as f64 / total as f64;
+    assert!(ref1 > 0.8, "refcount-1 share {:.2} below the paper's 80%", ref1);
+    assert!(gt3 < 0.05, "refcount>3 share {:.3} should be tiny", gt3);
+}
+
+#[test]
+fn cagc_reduces_write_amplification() {
+    for w in [FiuWorkload::Mail, FiuWorkload::WebVm] {
+        let base = run(w, Scheme::Baseline, 23);
+        let cagc = run(w, Scheme::Cagc, 23);
+        assert!(
+            cagc.waf() < base.waf(),
+            "{}: CAGC WAF {:.3} vs baseline {:.3}",
+            w.name(),
+            cagc.waf(),
+            base.waf()
+        );
+    }
+}
+
+#[test]
+fn cagc_improves_endurance_wear() {
+    // Fewer erases means less wear: CAGC's max erase count is bounded by
+    // the baseline's under the same trace.
+    let base = run(FiuWorkload::Mail, Scheme::Baseline, 29);
+    let cagc = run(FiuWorkload::Mail, Scheme::Cagc, 29);
+    assert!(
+        cagc.wear.2 < base.wear.2,
+        "mean wear: CAGC {:.2} vs baseline {:.2}",
+        cagc.wear.2,
+        base.wear.2
+    );
+}
