@@ -2,7 +2,7 @@
 //! on the write path (Inline-Dedupe) and GC path (CAGC).
 
 use cagc_dedup::{ContentId, Fingerprint, FingerprintIndex};
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use cagc_harness::bench::{BatchSize, Bench, BenchmarkId};
 
 fn populated(n: u64) -> (FingerprintIndex, Vec<Fingerprint>) {
     let mut ix = FingerprintIndex::new();
@@ -15,7 +15,7 @@ fn populated(n: u64) -> (FingerprintIndex, Vec<Fingerprint>) {
     (ix, fps)
 }
 
-fn bench_lookup(c: &mut Criterion) {
+fn bench_lookup(c: &mut Bench) {
     let mut g = c.benchmark_group("index_lookup");
     for n in [1_000u64, 100_000, 1_000_000] {
         let (mut ix, fps) = populated(n);
@@ -34,7 +34,7 @@ fn bench_lookup(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_insert_release(c: &mut Criterion) {
+fn bench_insert_release(c: &mut Bench) {
     let mut g = c.benchmark_group("index_mutation");
     g.bench_function("insert_then_release_100k_base", |b| {
         let (ix, _) = populated(100_000);
@@ -62,5 +62,4 @@ fn bench_insert_release(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lookup, bench_insert_release);
-criterion_main!(benches);
+cagc_harness::harness_bench_main!(bench_lookup, bench_insert_release);

@@ -7,7 +7,7 @@ use cagc_core::{run_cell, Scheme, SsdConfig};
 use cagc_flash::UllConfig;
 use cagc_ftl::VictimKind;
 use cagc_workloads::{FiuWorkload, TraceProfile};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cagc_harness::bench::{Bench, BenchmarkId};
 
 fn tiny() -> UllConfig {
     UllConfig::tiny_for_tests()
@@ -19,7 +19,7 @@ fn aged_trace(w: FiuWorkload, requests: usize) -> cagc_workloads::Trace {
 }
 
 /// Table II: the trace generator + analyzer pipeline.
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2(c: &mut Bench) {
     c.bench_function("table2_generate_and_profile", |b| {
         b.iter(|| {
             let t = aged_trace(FiuWorkload::Mail, 5_000);
@@ -29,7 +29,7 @@ fn bench_table2(c: &mut Criterion) {
 }
 
 /// Fig. 2 core loop: fresh-device replay, Baseline vs Inline-Dedupe.
-fn bench_fig2(c: &mut Criterion) {
+fn bench_fig2(c: &mut Bench) {
     let footprint = (tiny().logical_pages() as f64 * 0.15) as u64;
     let mut cfg = FiuWorkload::Homes.synth_config(footprint, 1_000, 7);
     cfg.prefill_fraction = 0.5;
@@ -46,7 +46,7 @@ fn bench_fig2(c: &mut Criterion) {
 /// Figs. 6/9/10/11/12 core loop: aged replay per scheme (Fig. 6 reads the
 /// refcount stats, 9/10 the GC counters, 11/12 the latency records of the
 /// same runs).
-fn bench_aged_replay(c: &mut Criterion) {
+fn bench_aged_replay(c: &mut Bench) {
     let trace = aged_trace(FiuWorkload::Mail, 6_000);
     let mut g = c.benchmark_group("fig9_10_11_12_aged_replay_mail");
     g.sample_size(10);
@@ -59,7 +59,7 @@ fn bench_aged_replay(c: &mut Criterion) {
 }
 
 /// Fig. 13 core loop: CAGC under each victim policy.
-fn bench_fig13(c: &mut Criterion) {
+fn bench_fig13(c: &mut Bench) {
     let trace = aged_trace(FiuWorkload::WebVm, 6_000);
     let mut g = c.benchmark_group("fig13_policy_replay_webvm");
     g.sample_size(10);
@@ -75,5 +75,4 @@ fn bench_fig13(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_table2, bench_fig2, bench_aged_replay, bench_fig13);
-criterion_main!(benches);
+cagc_harness::harness_bench_main!(bench_table2, bench_fig2, bench_aged_replay, bench_fig13);

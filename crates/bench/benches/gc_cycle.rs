@@ -3,7 +3,7 @@
 
 use cagc_core::{Scheme, Ssd, SsdConfig};
 use cagc_workloads::FiuWorkload;
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use cagc_harness::bench::{BatchSize, Bench, BenchmarkId};
 
 /// Build an aged SSD: replay enough traffic that the device is fragmented
 /// and victims are realistic.
@@ -16,7 +16,7 @@ fn aged_ssd(scheme: Scheme) -> Ssd {
     ssd
 }
 
-fn bench_gc_cycle(c: &mut Criterion) {
+fn bench_gc_cycle(c: &mut Bench) {
     let mut g = c.benchmark_group("gc_collect_one_victim");
     g.sample_size(20);
     for scheme in Scheme::ALL {
@@ -36,5 +36,4 @@ fn bench_gc_cycle(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gc_cycle);
-criterion_main!(benches);
+cagc_harness::harness_bench_main!(bench_gc_cycle);

@@ -5,9 +5,9 @@
 //! a 4 KiB page, serial and parallel, which grounds that parameter.
 
 use cagc_dedup::{ContentId, Fingerprint, ParallelHasher, Sha1, Sha256};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cagc_harness::bench::{Bench, BenchmarkId, Throughput};
 
-fn bench_hash_page(c: &mut Criterion) {
+fn bench_hash_page(c: &mut Bench) {
     let page = ContentId(42).synth_bytes(4096);
     let mut g = c.benchmark_group("hash_4k_page");
     g.throughput(Throughput::Bytes(4096));
@@ -19,7 +19,7 @@ fn bench_hash_page(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_parallel_hash(c: &mut Criterion) {
+fn bench_parallel_hash(c: &mut Bench) {
     // A victim block's worth of pages (64), hashed with various worker
     // counts — the data path the 14 µs hash engine abstracts.
     let pages: Vec<Vec<u8>> = (0..64).map(|i| ContentId(i).synth_bytes(4096)).collect();
@@ -34,5 +34,4 @@ fn bench_parallel_hash(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hash_page, bench_parallel_hash);
-criterion_main!(benches);
+cagc_harness::harness_bench_main!(bench_hash_page, bench_parallel_hash);

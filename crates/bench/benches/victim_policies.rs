@@ -2,7 +2,7 @@
 //! overhead the FTL pays before any flash work happens.
 
 use cagc_ftl::{VictimCandidate, VictimKind, VictimSelector};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cagc_harness::bench::{Bench, BenchmarkId};
 
 fn candidates(n: u32) -> Vec<VictimCandidate> {
     (0..n)
@@ -17,7 +17,7 @@ fn candidates(n: u32) -> Vec<VictimCandidate> {
         .collect()
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies(c: &mut Bench) {
     let mut g = c.benchmark_group("victim_select");
     for n in [256u32, 4_096, 32_768] {
         let cands = candidates(n);
@@ -39,5 +39,4 @@ fn bench_policies(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);
+cagc_harness::harness_bench_main!(bench_policies);

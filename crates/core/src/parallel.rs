@@ -2,11 +2,10 @@
 //!
 //! Each simulation is single-threaded and deterministic; the experiment
 //! grid (workload × scheme × policy) is embarrassingly parallel. This
-//! module fans the grid out over a crossbeam scoped worker pool — the
-//! repro harness regenerates whole figures in one pass.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! module fans the grid out over the [`cagc_harness::pool`] scoped
+//! worker pool — the repro harness regenerates whole figures in one
+//! pass, and the deterministic partitioning guarantees the worker count
+//! never changes results.
 
 use cagc_workloads::Trace;
 
@@ -23,43 +22,9 @@ pub fn run_cell(config: SsdConfig, trace: &Trace) -> RunReport {
 /// (0 ⇒ the machine's available parallelism). Results come back in input
 /// order regardless of scheduling.
 pub fn run_cells(cells: &[(SsdConfig, &Trace)], workers: usize) -> Vec<RunReport> {
-    if cells.is_empty() {
-        return Vec::new();
-    }
-    let workers = if workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        workers
-    }
-    .min(cells.len());
-
-    if workers == 1 {
-        return cells.iter().map(|(c, t)| run_cell(c.clone(), t)).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<RunReport>>> =
-        cells.iter().map(|_| Mutex::new(None)).collect();
-
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let (config, trace) = &cells[i];
-                let report = run_cell(config.clone(), trace);
-                *results[i].lock().expect("result slot poisoned") = Some(report);
-            });
-        }
+    cagc_harness::pool::map_ordered(cells, workers, |(config, trace)| {
+        run_cell(config.clone(), trace)
     })
-    .expect("experiment worker panicked");
-
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("cell never ran"))
-        .collect()
 }
 
 #[cfg(test)]

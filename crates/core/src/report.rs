@@ -2,6 +2,7 @@
 
 use cagc_dedup::IndexStats;
 use cagc_ftl::GcStats;
+use cagc_harness::{Json, ToJson};
 use cagc_metrics::{Cdf, Histogram};
 use cagc_sim::time::{fmt_duration, Nanos};
 
@@ -50,6 +51,20 @@ impl LatencySummary {
             fmt_duration(self.p999_ns),
             fmt_duration(self.max_ns),
         )
+    }
+}
+
+impl ToJson for LatencySummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("mean_ns", Json::F64(self.mean_ns)),
+            ("p50_ns", Json::U64(self.p50_ns)),
+            ("p90_ns", Json::U64(self.p90_ns)),
+            ("p99_ns", Json::U64(self.p99_ns)),
+            ("p999_ns", Json::U64(self.p999_ns)),
+            ("max_ns", Json::U64(self.max_ns)),
+        ])
     }
 }
 
@@ -178,6 +193,78 @@ impl RunReport {
             self.die_utilization.1 * 100.0,
             self.die_utilization.2 * 100.0,
         )
+    }
+}
+
+impl ToJson for RunReport {
+    /// Serialize every counter and distribution of the run. The rendering
+    /// is deterministic (stable key order, exact integers), so two reports
+    /// are byte-identical iff the runs were — which is what the
+    /// determinism regression test asserts across worker counts.
+    // GcStats and IndexStats live in foreign crates, so their fields are
+    // inlined here rather than given their own ToJson impls (orphan rule).
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scheme", Json::Str(self.scheme.clone())),
+            ("victim", Json::Str(self.victim.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("all", self.all.to_json()),
+            ("reads", self.reads.to_json()),
+            ("writes", self.writes.to_json()),
+            ("during_gc", self.during_gc.to_json()),
+            ("cdf", self.cdf.to_json()),
+            (
+                "gc",
+                Json::obj([
+                    ("invocations", Json::U64(self.gc.invocations)),
+                    ("blocks_erased", Json::U64(self.gc.blocks_erased)),
+                    ("pages_migrated", Json::U64(self.gc.pages_migrated)),
+                    ("pages_scanned", Json::U64(self.gc.pages_scanned)),
+                    ("dedup_hits", Json::U64(self.gc.dedup_hits)),
+                    ("promotions", Json::U64(self.gc.promotions)),
+                    ("demotions", Json::U64(self.gc.demotions)),
+                    ("busy_ns", Json::U64(self.gc.busy_ns)),
+                ]),
+            ),
+            (
+                "index",
+                Json::obj([
+                    ("lookups", Json::U64(self.index.lookups)),
+                    ("hits", Json::U64(self.index.hits)),
+                    ("inserts", Json::U64(self.index.inserts)),
+                    ("removals", Json::U64(self.index.removals)),
+                ]),
+            ),
+            (
+                "invalidation_by_refcount",
+                Json::arr(self.invalidation_by_refcount),
+            ),
+            ("host_pages_written", Json::U64(self.host_pages_written)),
+            ("user_programs", Json::U64(self.user_programs)),
+            ("total_programs", Json::U64(self.total_programs)),
+            ("total_erases", Json::U64(self.total_erases)),
+            ("read_misses", Json::U64(self.read_misses)),
+            ("trims", Json::U64(self.trims)),
+            (
+                "wear",
+                Json::obj([
+                    ("min", Json::U64(u64::from(self.wear.0))),
+                    ("max", Json::U64(u64::from(self.wear.1))),
+                    ("mean", Json::F64(self.wear.2)),
+                    ("stddev", Json::F64(self.wear_stddev)),
+                ]),
+            ),
+            (
+                "die_utilization",
+                Json::obj([
+                    ("min", Json::F64(self.die_utilization.0)),
+                    ("max", Json::F64(self.die_utilization.1)),
+                    ("mean", Json::F64(self.die_utilization.2)),
+                ]),
+            ),
+            ("end_ns", Json::U64(self.end_ns)),
+            ("waf", Json::F64(self.waf())),
+        ])
     }
 }
 

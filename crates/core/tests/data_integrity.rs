@@ -6,7 +6,7 @@
 use cagc_core::{Scheme, Ssd, SsdConfig};
 use cagc_dedup::ContentId;
 use cagc_workloads::{OpKind, SynthConfig, Trace};
-use proptest::prelude::*;
+use cagc_harness::prop::*;
 use std::collections::HashMap;
 
 /// Replay `trace` and verify the logical view against a model store.
@@ -46,8 +46,8 @@ fn check_integrity(scheme: Scheme, trace: &Trace) -> Result<(), TestCaseError> {
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+harness_proptest! {
+    #![config(cases = 10)]
 
     /// GC-heavy, dedup-heavy traffic never corrupts the logical view.
     #[test]

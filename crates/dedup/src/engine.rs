@@ -9,9 +9,9 @@
 //!   CAGC puts them on the GC path, where they overlap with die work — the
 //!   central mechanism of the paper.
 //! * [`ParallelHasher`] — a real data-path implementation that fingerprints
-//!   batches of page payloads across worker threads (crossbeam scoped
-//!   threads), used by benches and the real-content example to measure what
-//!   the 14 µs figure abstracts.
+//!   batches of page payloads across worker threads (the
+//!   [`cagc_harness::pool`] scoped pool), used by benches and the
+//!   real-content example to measure what the 14 µs figure abstracts.
 
 use crate::fingerprint::Fingerprint;
 use cagc_sim::time::Nanos;
@@ -80,27 +80,10 @@ impl ParallelHasher {
 
     /// Fingerprint every page payload, preserving order.
     pub fn hash_pages(&self, pages: &[Vec<u8>]) -> Vec<Fingerprint> {
-        if pages.is_empty() {
-            return Vec::new();
-        }
         if self.workers == 1 || pages.len() < 2 * self.workers {
             return pages.iter().map(|p| Fingerprint::of_bytes(p)).collect();
         }
-        let chunk = pages.len().div_ceil(self.workers);
-        let mut out: Vec<Option<Vec<Fingerprint>>> = vec![None; pages.len().div_ceil(chunk)];
-        crossbeam::scope(|s| {
-            let mut handles = Vec::new();
-            for (i, slice) in pages.chunks(chunk).enumerate() {
-                handles.push((i, s.spawn(move |_| {
-                    slice.iter().map(|p| Fingerprint::of_bytes(p)).collect::<Vec<_>>()
-                })));
-            }
-            for (i, h) in handles {
-                out[i] = Some(h.join().expect("hash worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        out.into_iter().flat_map(|v| v.expect("chunk result")).collect()
+        cagc_harness::pool::map_ordered(pages, self.workers, |p| Fingerprint::of_bytes(p))
     }
 }
 

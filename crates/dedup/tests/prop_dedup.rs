@@ -1,14 +1,14 @@
 //! Property-based tests for the dedup substrate.
 
 use cagc_dedup::{ContentId, Fingerprint, FingerprintIndex, ParallelHasher, Sha1, Sha256};
-use proptest::prelude::*;
+use cagc_harness::prop::*;
 use std::collections::HashMap;
 
-proptest! {
+harness_proptest! {
     /// SHA-1 streaming with arbitrary chunking equals one-shot hashing.
     #[test]
-    fn sha1_chunking_invariance(data in prop::collection::vec(any::<u8>(), 0..2000),
-                                cuts in prop::collection::vec(1usize..64, 0..40)) {
+    fn sha1_chunking_invariance(data in vec(any::<u8>(), 0..2000),
+                                cuts in vec(1usize..64, 0..40)) {
         let expect = Sha1::digest(&data);
         let mut s = Sha1::new();
         let mut rest: &[u8] = &data;
@@ -24,8 +24,8 @@ proptest! {
 
     /// SHA-256 streaming with arbitrary chunking equals one-shot hashing.
     #[test]
-    fn sha256_chunking_invariance(data in prop::collection::vec(any::<u8>(), 0..2000),
-                                  cuts in prop::collection::vec(1usize..64, 0..40)) {
+    fn sha256_chunking_invariance(data in vec(any::<u8>(), 0..2000),
+                                  cuts in vec(1usize..64, 0..40)) {
         let expect = Sha256::digest(&data);
         let mut s = Sha256::new();
         let mut rest: &[u8] = &data;
@@ -52,7 +52,7 @@ proptest! {
     /// index must agree with the model after every operation, and its
     /// internal audit must always pass.
     #[test]
-    fn index_agrees_with_naive_model(ops in prop::collection::vec((0u8..3, 0u64..20), 1..300)) {
+    fn index_agrees_with_naive_model(ops in vec((0u8..3, 0u64..20), 1..300)) {
         let mut ix = FingerprintIndex::new();
         // model: content -> (ppn, refs)
         let mut model: HashMap<u64, (u64, u32)> = HashMap::new();
@@ -109,7 +109,7 @@ proptest! {
 
     /// total_refs equals the sum of model refcounts.
     #[test]
-    fn total_refs_matches_model(refcounts in prop::collection::vec(1u32..9, 0..50)) {
+    fn total_refs_matches_model(refcounts in vec(1u32..9, 0..50)) {
         let mut ix = FingerprintIndex::new();
         let mut sum = 0u64;
         for (i, &r) in refcounts.iter().enumerate() {

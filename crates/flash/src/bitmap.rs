@@ -3,7 +3,8 @@
 //! Per-page state inside a [`crate::Block`] is two bits (written / valid),
 //! stored in bitmaps so an 80 GB device (20 M pages) needs ~5 MB of state
 //! rather than hundreds. Implemented here instead of pulling a dependency:
-//! the offline crate budget is reserved for rand/proptest/criterion/etc.
+//! the workspace builds hermetically offline with no external crates
+//! (testing, benching and concurrency all come from `cagc-harness`).
 
 /// Fixed-capacity bitmap backed by `u64` words.
 #[derive(Debug, Clone, PartialEq, Eq)]

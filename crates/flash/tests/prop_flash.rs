@@ -1,13 +1,13 @@
 //! Property-based tests for the flash device model.
 
 use cagc_flash::{FlashDevice, Geometry, PageState, Timing, UllConfig};
-use proptest::prelude::*;
+use cagc_harness::prop::*;
 
 fn small_geometry() -> Geometry {
     Geometry::new(1, 2, 1, 8, 8, 4096)
 }
 
-proptest! {
+harness_proptest! {
     /// Address round-trip: ppn → (block, page) → ppn for arbitrary geometry.
     #[test]
     fn geometry_address_round_trip(
@@ -33,7 +33,7 @@ proptest! {
     /// accounting always satisfies valid + invalid + free == pages, and the
     /// device never reaches an inconsistent state.
     #[test]
-    fn block_accounting_invariant_holds(ops in prop::collection::vec(0u8..3, 1..400)) {
+    fn block_accounting_invariant_holds(ops in vec(0u8..3, 1..400)) {
         let g = small_geometry();
         let mut d = FlashDevice::new(g, Timing::ull());
         let nblocks = g.total_blocks();
@@ -83,7 +83,7 @@ proptest! {
     /// Reservations on a die never travel back in time, regardless of the
     /// operation mix, and stats totals match issued operations.
     #[test]
-    fn die_time_is_monotone_per_die(ops in prop::collection::vec((0u8..2, 0u32..16), 1..200)) {
+    fn die_time_is_monotone_per_die(ops in vec((0u8..2, 0u32..16), 1..200)) {
         let g = small_geometry();
         let mut d = FlashDevice::new(g, Timing::ull());
         let mut per_die_last = vec![0u64; g.total_dies() as usize];

@@ -16,8 +16,7 @@
 
 use cagc_flash::BlockId;
 use cagc_sim::time::Nanos;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cagc_sim::SimRng;
 
 /// Snapshot of one candidate block at selection time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,13 +88,13 @@ impl VictimKind {
 #[derive(Debug, Clone)]
 pub struct VictimSelector {
     kind: VictimKind,
-    rng: SmallRng,
+    rng: SimRng,
 }
 
 impl VictimSelector {
     /// A selector of the given kind; `seed` only matters for `Random`.
     pub fn new(kind: VictimKind, seed: u64) -> Self {
-        Self { kind, rng: SmallRng::seed_from_u64(seed) }
+        Self { kind, rng: SimRng::seed_from_u64(seed) }
     }
 
     /// The algorithm this selector runs.
@@ -111,7 +110,7 @@ impl VictimSelector {
         }
         match self.kind {
             VictimKind::Random => {
-                let i = self.rng.gen_range(0..candidates.len());
+                let i = self.rng.gen_range_usize(0..candidates.len());
                 Some(candidates[i].block)
             }
             VictimKind::Greedy => candidates
@@ -136,7 +135,7 @@ impl VictimSelector {
             VictimKind::DChoices => {
                 let d = VictimKind::D_CHOICES.min(candidates.len());
                 (0..d)
-                    .map(|_| &candidates[self.rng.gen_range(0..candidates.len())])
+                    .map(|_| &candidates[self.rng.gen_range_usize(0..candidates.len())])
                     .min_by_key(|c| (u32::MAX - c.invalid, c.erase_count, c.block))
                     .map(|c| c.block)
             }

@@ -2,14 +2,14 @@
 
 use cagc_ftl::{Allocator, MappingTable, Region, ReverseMap, VictimCandidate, VictimKind,
                VictimSelector};
-use proptest::prelude::*;
+use cagc_harness::prop::*;
 use std::collections::HashMap;
 
-proptest! {
+harness_proptest! {
     /// Mapping table + reverse map stay mutually consistent under random
     /// map/remap/unmap traffic; total_refs equals mapped_count.
     #[test]
-    fn forward_and_reverse_maps_agree(ops in prop::collection::vec((0u8..2, 0u64..50, 0u64..200), 1..400)) {
+    fn forward_and_reverse_maps_agree(ops in vec((0u8..2, 0u64..50, 0u64..200), 1..400)) {
         let mut fwd = MappingTable::new(50);
         let mut rev = ReverseMap::new();
         for &(op, lpn, ppn) in &ops {
@@ -46,7 +46,7 @@ proptest! {
     fn allocator_conserves_blocks(
         total in 8u32..64,
         ppb in 1u32..16,
-        steps in prop::collection::vec((any::<bool>(), any::<bool>()), 1..300),
+        steps in vec((any::<bool>(), any::<bool>()), 1..300),
     ) {
         let reserve = 2u32.min(total - 4);
         let mut a = Allocator::new(total, ppb, reserve);

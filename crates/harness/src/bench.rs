@@ -1,0 +1,456 @@
+//! A micro-benchmark runner.
+//!
+//! Replaces the `criterion` dependency for this workspace: warmup, a
+//! fixed number of timed samples, a median/p95/min report on stdout, and
+//! a machine-readable `BENCH_<suite>.json` artifact (via [`crate::json`])
+//! next to the working directory. The API mirrors the slice of criterion
+//! the bench files used — groups, `bench_function`, `bench_with_input`,
+//! `iter`/`iter_batched`, throughput annotation — so they port
+//! mechanically:
+//!
+//! ```no_run
+//! use cagc_harness::bench::{Bench, Bencher};
+//!
+//! fn bench_sum(c: &mut Bench) {
+//!     let mut g = c.benchmark_group("sums");
+//!     g.bench_function("naive", |b: &mut Bencher| {
+//!         b.iter(|| (0..1000u64).sum::<u64>())
+//!     });
+//!     g.finish();
+//! }
+//!
+//! cagc_harness::harness_bench_main!(bench_sum);
+//! ```
+//!
+//! Set `HARNESS_BENCH_FAST=1` to run each benchmark with a minimal
+//! sample budget — used by smoke tests so `cargo test` stays fast.
+
+use crate::json::{Json, ToJson};
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name criterion users
+/// expect.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `"<name>/<parameter>"`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter as the id (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Work-per-iteration annotation, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Hint for `iter_batched` setup cost amortization. The runner times one
+/// routine invocation per sample either way; the variants exist so call
+/// sites keep criterion's vocabulary.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Cheap inputs.
+    SmallInput,
+    /// Expensive inputs (setup dominates; never amortized).
+    LargeInput,
+}
+
+/// One measured benchmark: per-iteration nanoseconds across samples.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/id` path.
+    pub path: String,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// Fastest sample ns/iter.
+    pub min_ns: f64,
+    /// 95th-percentile sample ns/iter.
+    pub p95_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Declared throughput of one iteration, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        let (kind, amount) = match self.throughput {
+            Some(Throughput::Bytes(b)) => ("bytes", Some(b)),
+            Some(Throughput::Elements(e)) => ("elements", Some(e)),
+            None => ("none", None),
+        };
+        Json::obj([
+            ("name", Json::Str(self.path.clone())),
+            ("median_ns", Json::F64(self.median_ns)),
+            ("min_ns", Json::F64(self.min_ns)),
+            ("p95_ns", Json::F64(self.p95_ns)),
+            ("samples", Json::U64(self.samples as u64)),
+            ("throughput_kind", Json::Str(kind.to_string())),
+            ("throughput_per_iter", amount.to_json()),
+        ])
+    }
+}
+
+/// Measurement budget for one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    warmup: Duration,
+    samples: usize,
+    target_sample_time: Duration,
+}
+
+impl Budget {
+    fn new(samples: usize) -> Self {
+        if fast_mode() {
+            Budget {
+                warmup: Duration::from_millis(2),
+                samples: samples.min(5),
+                target_sample_time: Duration::from_micros(200),
+            }
+        } else {
+            Budget {
+                warmup: Duration::from_millis(60),
+                samples,
+                target_sample_time: Duration::from_millis(2),
+            }
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("HARNESS_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// The per-benchmark measurement driver handed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Budget,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(budget: Budget) -> Self {
+        Bencher { budget, samples_ns: Vec::new() }
+    }
+
+    /// Measure `f` called in a tight loop: warmup, then `samples` timed
+    /// batches sized so each batch runs ≥ the target sample time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup, and estimate the per-iteration cost while at it.
+        let warmup_started = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_started.elapsed() < self.budget.warmup || warmup_iters == 0 {
+            std_black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warmup_started.elapsed().as_nanos() as f64 / warmup_iters as f64).max(0.5);
+        let batch = ((self.budget.target_sample_time.as_nanos() as f64 / est_ns).ceil() as u64).clamp(1, 10_000_000);
+
+        for _ in 0..self.budget.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh input from `setup` each sample; the
+    /// setup runs outside the timed window.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        // One warmup round so code and caches are hot.
+        std_black_box(routine(setup()));
+        for _ in 0..self.budget.samples {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn result(mut self, path: String, throughput: Option<Throughput>) -> BenchResult {
+        self.samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let n = self.samples_ns.len();
+        assert!(n > 0, "benchmark `{path}` recorded no samples — missing b.iter(..)?");
+        let at = |q: f64| self.samples_ns[((q * n as f64) as usize).min(n - 1)];
+        BenchResult {
+            path,
+            median_ns: at(0.5),
+            min_ns: self.samples_ns[0],
+            p95_ns: at(0.95),
+            samples: n,
+            throughput,
+        }
+    }
+}
+
+/// The top-level benchmark driver (criterion's `Criterion` role): owns
+/// collected results and writes the JSON artifact at the end of `main`.
+#[derive(Debug)]
+pub struct Bench {
+    suite: String,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// A driver for the named suite (normally the bench binary's crate
+    /// name, supplied by [`crate::harness_bench_main!`]).
+    pub fn new(suite: impl Into<String>) -> Self {
+        let suite = suite.into();
+        eprintln!("# cagc-harness bench suite `{suite}`{}", if fast_mode() { " (fast mode)" } else { "" });
+        Bench { suite, results: Vec::new() }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 30,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self {
+        let id = id.into();
+        let mut g = Group {
+            bench: self,
+            name: String::new(),
+            throughput: None,
+            sample_size: 30,
+        };
+        g.bench_function(id, f);
+        self
+    }
+
+    fn record(&mut self, r: BenchResult) {
+        println!("{}", render_line(&r));
+        self.results.push(r);
+    }
+
+    /// Print the footer and write `BENCH_<suite>.json`. Called by
+    /// [`crate::harness_bench_main!`] after every bench fn has run.
+    pub fn finish(self) {
+        let out = Json::obj([
+            ("suite", Json::Str(self.suite.clone())),
+            ("results", Json::Arr(self.results.iter().map(ToJson::to_json).collect())),
+        ])
+        .render();
+        let path = format!("BENCH_{}.json", self.suite);
+        match std::fs::write(&path, &out) {
+            Ok(()) => eprintln!("# {} results -> {path}", self.results.len()),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Annotate per-iteration work so the report includes throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples (default 30).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self {
+        let id = id.into();
+        let path = if self.name.is_empty() {
+            id.0
+        } else {
+            format!("{}/{}", self.name, id.0)
+        };
+        let mut b = Bencher::new(Budget::new(self.sample_size));
+        f(&mut b);
+        let r = b.result(path, self.throughput);
+        self.bench.record(r);
+        self
+    }
+
+    /// Run one benchmark with an explicit input reference.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (kept for criterion-API compatibility; groups have
+    /// no deferred work).
+    pub fn finish(&mut self) {}
+}
+
+fn render_line(r: &BenchResult) -> String {
+    let mut line = format!(
+        "{:<44} median {:>10}  min {:>10}  p95 {:>10}",
+        r.path,
+        fmt_ns(r.median_ns),
+        fmt_ns(r.min_ns),
+        fmt_ns(r.p95_ns),
+    );
+    if let Some(t) = r.throughput {
+        let per_sec = |amount: u64| amount as f64 / (r.median_ns / 1e9);
+        match t {
+            Throughput::Bytes(bytes) => {
+                line.push_str(&format!("  thrpt {:>11}/s", fmt_bytes(per_sec(bytes))));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt {:>11.0} elem/s", per_sec(n)));
+            }
+        }
+    }
+    line
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_bytes(bytes_per_sec: f64) -> String {
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const KIB: f64 = 1024.0;
+    if bytes_per_sec >= GIB {
+        format!("{:.2} GiB", bytes_per_sec / GIB)
+    } else if bytes_per_sec >= MIB {
+        format!("{:.2} MiB", bytes_per_sec / MIB)
+    } else if bytes_per_sec >= KIB {
+        format!("{:.2} KiB", bytes_per_sec / KIB)
+    } else {
+        format!("{bytes_per_sec:.0} B")
+    }
+}
+
+/// Generate `fn main()` for a bench binary (`harness = false` target):
+/// runs each listed bench fn against one [`Bench`] and writes the JSON
+/// artifact.
+#[macro_export]
+macro_rules! harness_bench_main {
+    ($($bench_fn:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Bench::new(env!("CARGO_CRATE_NAME"));
+            $($bench_fn(&mut c);)+
+            c.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_bencher() -> Bencher {
+        Bencher::new(Budget {
+            warmup: Duration::from_micros(100),
+            samples: 7,
+            target_sample_time: Duration::from_micros(50),
+        })
+    }
+
+    #[test]
+    fn iter_collects_the_requested_samples() {
+        let mut b = fast_bencher();
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(5));
+        let r = b.result("g/x".into(), None);
+        assert_eq!(r.samples, 7);
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = fast_bencher();
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        let r = b.result("g/batched".into(), Some(Throughput::Bytes(64)));
+        assert_eq!(r.samples, 7);
+        assert!(r.to_json().render().contains("\"throughput_kind\":\"bytes\""));
+    }
+
+    #[test]
+    fn benchmark_ids_compose_paths() {
+        assert_eq!(BenchmarkId::new("hit", 1000).0, "hit/1000");
+        assert_eq!(BenchmarkId::from_parameter("sha1").0, "sha1");
+    }
+
+    #[test]
+    fn render_line_includes_throughput() {
+        let r = BenchResult {
+            path: "hash/sha1".into(),
+            median_ns: 4096.0,
+            min_ns: 4000.0,
+            p95_ns: 4200.0,
+            samples: 30,
+            throughput: Some(Throughput::Bytes(4096)),
+        };
+        let line = render_line(&r);
+        assert!(line.contains("hash/sha1"), "{line}");
+        assert!(line.contains("4.10 µs"), "{line}");
+        // 4096 B per 4096 ns = 1 byte/ns ≈ 953.67 MiB/s.
+        assert!(line.contains("953.67 MiB/s"), "{line}");
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.50 s");
+    }
+}

@@ -1,0 +1,259 @@
+//! A tiny JSON serializer.
+//!
+//! The workspace needs exactly one serialization direction — Rust report
+//! structs out to JSON artifacts (`BENCH_*.json`, experiment exports) —
+//! and nothing else a full serde stack provides. This module is that one
+//! direction: an explicit [`Json`] tree, deterministic rendering (object
+//! keys keep insertion order, numbers render via Rust's shortest
+//! round-trip formatting), and a [`ToJson`] trait report types implement
+//! by hand. No derive machinery, no external crates.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (rendered exactly; never goes through `f64`).
+    U64(u64),
+    /// A signed integer (rendered exactly).
+    I64(i64),
+    /// A floating-point number. Non-finite values render as `null` since
+    /// JSON has no representation for them.
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved so output is deterministic.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Build an array by converting each element with [`ToJson`].
+    pub fn arr<T: ToJson>(items: impl IntoIterator<Item = T>) -> Json {
+        Json::Arr(items.into_iter().map(|x| x.to_json()).collect())
+    }
+
+    /// Render to a compact JSON string (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree — the hand-written replacement for
+/// `#[derive(Serialize)]`.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::U64(*self)
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::U64(u64::from(*self))
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::I64(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::U64(*self as u64)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_exactly() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::U64(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::I64(-42).render(), "-42");
+        assert_eq!(Json::F64(0.134).render(), "0.134");
+        assert_eq!(Json::F64(1.0).render(), "1");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::Str("plain".into()).render(), "\"plain\"");
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\te\u{1}".into()).render(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+        assert_eq!(Json::Str("µs → done".into()).render(), "\"µs → done\"");
+    }
+
+    #[test]
+    fn containers_render_in_order() {
+        let j = Json::obj([
+            ("name", Json::Str("fig9".into())),
+            ("erases", Json::U64(13400)),
+            ("series", Json::Arr(vec![Json::U64(1), Json::U64(2), Json::U64(3)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"fig9","erases":13400,"series":[1,2,3],"empty":[]}"#
+        );
+    }
+
+    #[test]
+    fn to_json_blanket_impls_compose() {
+        let v: Vec<u64> = vec![7, 8];
+        assert_eq!(v.to_json().render(), "[7,8]");
+        assert_eq!(Some("x").to_json().render(), "\"x\"");
+        assert_eq!(Option::<u64>::None.to_json().render(), "null");
+        assert_eq!(Json::arr(["a", "b"]).render(), r#"["a","b"]"#);
+    }
+
+    #[test]
+    fn large_u64_survives_exactly() {
+        // The reason Json has integer variants: 2^63 + 3 is not
+        // representable in f64.
+        let n = (1u64 << 63) + 3;
+        assert_eq!(Json::U64(n).render(), format!("{n}"));
+    }
+}

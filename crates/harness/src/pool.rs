@@ -1,0 +1,188 @@
+//! Scoped worker-thread pool with deterministic work partitioning.
+//!
+//! The simulator is single-threaded and deterministic; what runs in
+//! parallel is the *grid around it* — experiment cells, batch hashing —
+//! which is embarrassingly parallel. This module gives that fan-out a
+//! fixed contract:
+//!
+//! * **Deterministic partitioning** — work is split into contiguous
+//!   chunks, one per worker, computed purely from `(items, workers)`.
+//!   No work stealing, no scheduler-dependent assignment: the same call
+//!   always hands the same items to the same worker index.
+//! * **Ordered collection** — results come back in input order no matter
+//!   how the OS schedules the threads.
+//!
+//! Together these make `map_ordered(items, 1, f)` and
+//! `map_ordered(items, n, f)` produce *identical* output vectors whenever
+//! `f` is a pure function of its item, which is exactly the property the
+//! reproducibility tests assert (see `tests/hermetic_determinism.rs` at
+//! the workspace root).
+
+use std::num::NonZeroUsize;
+
+/// Resolve a requested worker count: `0` means "size to the machine",
+/// and the result is clamped to `[1, items]` so no thread sits idle.
+pub fn effective_workers(requested: usize, items: usize) -> usize {
+    let hw = || {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    let w = if requested == 0 { hw() } else { requested };
+    w.max(1).min(items.max(1))
+}
+
+/// The contiguous chunk bounds `[start, end)` owned by `worker` when
+/// `items` items are split over `workers` workers: the first
+/// `items % workers` chunks get one extra item. Purely arithmetic —
+/// this is the partitioning contract the determinism tests rely on.
+pub fn chunk_bounds(items: usize, workers: usize, worker: usize) -> (usize, usize) {
+    debug_assert!(worker < workers);
+    let base = items / workers;
+    let extra = items % workers;
+    let start = worker * base + worker.min(extra);
+    let len = base + usize::from(worker < extra);
+    (start, start + len)
+}
+
+/// Apply `f` to every item on up to `workers` scoped OS threads
+/// (`0` ⇒ machine parallelism) and return results in input order.
+///
+/// Each worker owns one contiguous chunk of the input (see
+/// [`chunk_bounds`]); a panic in any worker propagates to the caller.
+pub fn map_ordered<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = effective_workers(workers, items.len());
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut chunks: Vec<Option<Vec<R>>> = (0..workers).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (start, end) = chunk_bounds(items.len(), workers, w);
+            let slice = &items[start..end];
+            let f = &f;
+            handles.push(s.spawn(move || slice.iter().map(f).collect::<Vec<R>>()));
+        }
+        for (slot, h) in chunks.iter_mut().zip(handles) {
+            match h.join() {
+                Ok(v) => *slot = Some(v),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    chunks
+        .into_iter()
+        .flat_map(|c| c.expect("every worker reports its chunk"))
+        .collect()
+}
+
+/// Run `f(worker_index)` once on each of `workers` scoped threads and
+/// return the results indexed by worker. The low-level entry point for
+/// callers that manage their own partitioning.
+pub fn run_workers<R, F>(workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.max(1);
+    let mut out: Vec<Option<R>> = (0..workers).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let f = &f;
+            handles.push(s.spawn(move || f(w)));
+        }
+        for (slot, h) in out.iter_mut().zip(handles) {
+            match h.join() {
+                Ok(v) => *slot = Some(v),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    out.into_iter().map(|r| r.expect("worker result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_cover_exactly_once() {
+        for items in [0usize, 1, 2, 7, 64, 101] {
+            for workers in 1usize..9 {
+                let mut covered = 0usize;
+                let mut expect_start = 0usize;
+                for w in 0..workers {
+                    let (s, e) = chunk_bounds(items, workers, w);
+                    assert_eq!(s, expect_start, "gap at worker {w}");
+                    assert!(e >= s);
+                    covered += e - s;
+                    expect_start = e;
+                }
+                assert_eq!(covered, items, "items={items} workers={workers}");
+                assert_eq!(expect_start, items);
+            }
+        }
+    }
+
+    #[test]
+    fn map_ordered_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for workers in [1, 2, 3, 8, 300] {
+            let out = map_ordered(&items, workers, |&x| x * 3);
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // The determinism contract: any worker count, same output bytes.
+        let items: Vec<u64> = (0..100).map(|i| i * i).collect();
+        let serial = map_ordered(&items, 1, |&x| format!("{:x}", x.wrapping_mul(0x9E3779B97F4A7C15)));
+        for workers in [2, 4, 7, 16] {
+            assert_eq!(map_ordered(&items, workers, |&x| format!("{:x}", x.wrapping_mul(0x9E3779B97F4A7C15))), serial);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = map_ordered(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_means_machine_sized() {
+        let items = [1u32, 2, 3];
+        assert_eq!(map_ordered(&items, 0, |&x| x + 1), vec![2, 3, 4]);
+        assert!(effective_workers(0, 100) >= 1);
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 100), 2);
+        assert_eq!(effective_workers(4, 0), 1);
+    }
+
+    #[test]
+    fn run_workers_indexes_results() {
+        let out = run_workers(5, |w| w * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        map_ordered(&[1u32, 2, 3, 4], 2, |&x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,636 @@
+//! A minimal property-testing runner.
+//!
+//! Replaces the `proptest` dependency for this workspace's needs: seeded
+//! case generation (on [`cagc_sim::SimRng`], so property tests share the
+//! simulator's deterministic PRNG), composable [`Strategy`] value
+//! generators, bounded shrinking on failure, and a macro surface
+//! ([`harness_proptest!`](crate::harness_proptest), `prop_assert!`)
+//! close enough to proptest's that the existing property-test files port
+//! mechanically:
+//!
+//! ```
+//! use cagc_harness::prop::*;
+//!
+//! cagc_harness::harness_proptest! {
+//!     #![config(cases = 64)]
+//!     /// Reversing twice is the identity. (In a test file this would
+//!     /// also carry `#[test]`.)
+//!     fn double_reverse_is_identity(xs in vec(any::<u64>(), 0..50)) {
+//!         let mut twice = xs.clone();
+//!         twice.reverse();
+//!         twice.reverse();
+//!         prop_assert_eq!(twice, xs);
+//!     }
+//! }
+//! # fn main() { double_reverse_is_identity(); }
+//! ```
+//!
+//! Every run is reproducible: case seeds derive from the test name via
+//! [`cagc_sim::derive_seed`], and `HARNESS_PROP_SEED` / `HARNESS_PROP_CASES`
+//! environment variables re-seed or re-size a run without recompiling.
+
+use cagc_sim::rng::SimRng;
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A failed property check, carrying the failure message. Test bodies
+/// produce these through `prop_assert!` (early return) or by mapping
+/// their own error types via [`TestCaseError::fail`].
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wrap any displayable error as a test-case failure.
+    pub fn fail(msg: impl std::fmt::Display) -> Self {
+        TestCaseError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// How a property test runs: number of generated cases and the shrink
+/// budget spent minimizing a failure.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Cases to generate (default 64; override per test with
+    /// `#![config(cases = N)]` or globally with `HARNESS_PROP_CASES`).
+    pub cases: u32,
+    /// Maximum accepted shrink steps before reporting the current minimum.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64, max_shrink_steps: 200 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases (the `#![config(cases = N)]` form).
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// A generator of test values: produces a value from seeded randomness
+/// and proposes smaller candidates when that value exposes a failure.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut SimRng) -> Self::Value;
+
+    /// Candidate simplifications of `v`, "smallest" first. An empty vec
+    /// means fully shrunk. Each candidate must be strictly simpler than
+    /// `v` by some well-founded measure so shrinking terminates.
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value>;
+}
+
+// ---------------------------------------------------------------------
+// Integer range strategies.
+// ---------------------------------------------------------------------
+
+/// Integer types usable as `lo..hi` strategies.
+pub trait RangeInt: Copy + PartialOrd + Debug {
+    /// Widen to the `u64` sampling domain.
+    fn to_u64(self) -> u64;
+    /// Narrow back from the sampling domain.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),+) => {$(
+        impl RangeInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )+};
+}
+impl_range_int!(u8, u16, u32, u64, usize);
+
+impl<T: RangeInt> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SimRng) -> T {
+        T::from_u64(rng.gen_range_u64(self.start.to_u64()..self.end.to_u64()))
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        let (lo, x) = (self.start.to_u64(), v.to_u64());
+        let mut out = Vec::new();
+        if x > lo {
+            out.push(T::from_u64(lo));
+            let mid = lo + (x - lo) / 2;
+            if mid != lo {
+                out.push(T::from_u64(mid));
+            }
+            out.push(T::from_u64(x - 1));
+        }
+        out
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut SimRng) -> f64 {
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        // Shrink toward the lower bound; stop once the step is negligible
+        // relative to the range so shrinking terminates.
+        let span = (self.end - self.start).abs().max(f64::MIN_POSITIVE);
+        if (v - self.start).abs() > span * 1e-6 {
+            out.push(self.start);
+            out.push(self.start + (v - self.start) / 2.0);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// `any::<T>()` — full-domain strategies for primitives.
+// ---------------------------------------------------------------------
+
+/// The full value domain of `T` as a strategy (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy over every value of a primitive type, like proptest's
+/// `any::<T>()`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),+) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SimRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let x = *v;
+                let mut out = Vec::new();
+                if x > 0 {
+                    out.push(0);
+                    if x / 2 != 0 {
+                        out.push(x / 2);
+                    }
+                    out.push(x - 1);
+                }
+                out
+            }
+        }
+    )+};
+}
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut SimRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut SimRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = rng.next_f64() * f64::from(u32::MAX);
+        if rng.gen_bool(0.5) {
+            mag
+        } else {
+            -mag
+        }
+    }
+
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        if v.abs() > 1e-9 {
+            vec![0.0, v / 2.0]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collections.
+// ---------------------------------------------------------------------
+
+/// Strategy for `Vec<S::Value>` with length drawn from a range
+/// (see [`vec`]).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A vector strategy: lengths uniform in `len`, elements from `element`
+/// — proptest's `prop::collection::vec`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SimRng) -> Vec<S::Value> {
+        let n = rng.gen_range_usize(self.len.start..self.len.end);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.len.start;
+        let mut out = Vec::new();
+        // Structural shrinks first: drop the back half, then one element.
+        if v.len() > min {
+            let half = (v.len() / 2).max(min);
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            out.push(v[..v.len() - 1].to_vec());
+        }
+        // Then element-wise shrinks — every candidate the element strategy
+        // proposes, on a bounded number of slots to keep the set small.
+        for i in 0..v.len().min(16) {
+            for smaller in self.element.shrink(&v[i]) {
+                let mut w = v.clone();
+                w[i] = smaller;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples of strategies.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$v:ident/$i:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut SimRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&v.$i) {
+                        let mut w = v.clone();
+                        w.$i = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A/a/0)
+    (A/a/0, B/b/1)
+    (A/a/0, B/b/1, C/c/2)
+    (A/a/0, B/b/1, C/c/2, D/d/3)
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4)
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4, F/f/5)
+}
+
+// ---------------------------------------------------------------------
+// The runner.
+// ---------------------------------------------------------------------
+
+fn root_seed() -> u64 {
+    std::env::var("HARNESS_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CA6C_2021_0913)
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("HARNESS_PROP_CASES").ok().and_then(|s| s.parse().ok())
+}
+
+fn eval<V: Clone, F>(f: &F, v: &V) -> Result<(), TestCaseError>
+where
+    F: Fn(V) -> Result<(), TestCaseError>,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(v.clone()))) {
+        Ok(r) => r,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            Err(TestCaseError::fail(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Run the property `f` over `cfg.cases` values generated by `strat`.
+///
+/// On failure the input is shrunk (bounded by `cfg.max_shrink_steps`
+/// accepted simplifications) and the minimal failing value is reported
+/// in the panic message together with the seed information needed to
+/// replay the run.
+///
+/// # Panics
+/// Panics when a case fails — this is the test-failure path.
+pub fn run<S, F>(name: &str, cfg: Config, strat: S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = cagc_sim::derive_seed(root_seed(), name);
+    let cases = env_cases().unwrap_or(cfg.cases).max(1);
+    let mut rng = SimRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let value = strat.generate(&mut rng);
+        let Err(err) = eval(&f, &value) else { continue };
+
+        // Shrink: greedily accept the first failing candidate until no
+        // candidate fails or the budget runs out.
+        let mut current = value;
+        let mut current_err = err;
+        let mut steps = 0u32;
+        'shrinking: while steps < cfg.max_shrink_steps {
+            for cand in strat.shrink(&current) {
+                if let Err(e) = eval(&f, &cand) {
+                    current = cand;
+                    current_err = e;
+                    steps += 1;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+
+        panic!(
+            "property `{name}` failed at case {case}/{cases} \
+             (seed {seed:#x}, {steps} shrink steps)\n\
+             minimal failing input: {current:?}\n\
+             error: {current_err}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macro surface.
+// ---------------------------------------------------------------------
+
+/// Assert a condition inside a property body; on failure the case is
+/// reported (and shrunk) rather than aborting the process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::prop::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            ::core::stringify!($left), ::core::stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, printing the offending value on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            ::core::stringify!($left), ::core::stringify!($right), __l
+        );
+    }};
+}
+
+/// Define property tests with proptest-style syntax:
+///
+/// ```ignore
+/// harness_proptest! {
+///     #![config(cases = 32)]           // optional
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u64..100, ys in vec(any::<u8>(), 0..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+///
+/// Each test generates its arguments from the listed strategies, runs
+/// the body per case, and shrinks failures to a minimal counterexample
+/// (see [`prop::run`](crate::prop::run)).
+#[macro_export]
+macro_rules! harness_proptest {
+    (#![config(cases = $cases:expr)] $($rest:tt)+) => {
+        $crate::harness_proptest!(@impl ($cases) $($rest)+);
+    };
+    (@impl ($cases:expr) $($(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::prop::run(
+                    ::core::stringify!($name),
+                    $crate::prop::Config::with_cases($cases),
+                    ($($strat,)+),
+                    |__value| {
+                        let ($($arg,)+) = __value;
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )+
+    };
+    ($($rest:tt)+) => {
+        $crate::harness_proptest!(@impl (64) $($rest)+);
+    };
+}
+
+// Make the macros importable through `use cagc_harness::prop::*`, the
+// way the test files' single glob import expects.
+pub use crate::{harness_proptest, prop_assert, prop_assert_eq, prop_assert_ne};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fails_when(pred: impl Fn(&u64) -> bool + Copy) -> impl Fn(u64) -> Result<(), TestCaseError> + Copy {
+        move |v| {
+            if pred(&v) {
+                Err(TestCaseError::fail("violated"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        run("always_ok", Config::with_cases(50), 10u64..20, |v| {
+            count.set(count.get() + 1);
+            if (10..20).contains(&v) {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("{v} out of range")))
+            }
+        });
+        assert_eq!(count.get(), 50);
+    }
+
+    #[test]
+    fn failure_shrinks_to_boundary() {
+        // Property "v < 57" fails for v in [57, 1000); the minimal
+        // counterexample is exactly 57 and shrinking must find it.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run("shrink_to_57", Config::default(), 0u64..1000, fails_when(|&v| v >= 57));
+        }));
+        let msg = *r.expect_err("must fail").downcast::<String>().expect("string panic");
+        assert!(msg.contains("minimal failing input: 57"), "got: {msg}");
+    }
+
+    #[test]
+    fn vec_failures_shrink_structurally() {
+        // Fails when any element is >= 100: minimal case is a vec with one
+        // element, exactly 100.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "shrink_vec",
+                Config::default(),
+                vec(0u64..1000, 1..50),
+                |xs| {
+                    if xs.iter().any(|&x| x >= 100) {
+                        Err(TestCaseError::fail("big element"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = *r.expect_err("must fail").downcast::<String>().expect("string panic");
+        assert!(msg.contains("minimal failing input: [100]"), "got: {msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_and_shrunk() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run("panic_case", Config::default(), 0u64..100, |v| {
+                assert!(v < 3, "v was {v}");
+                Ok(())
+            });
+        }));
+        let msg = *r.expect_err("must fail").downcast::<String>().expect("string panic");
+        assert!(msg.contains("minimal failing input: 3"), "got: {msg}");
+        assert!(msg.contains("panicked"), "got: {msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let collect = |name: &str| {
+            let mut out = Vec::new();
+            let strat = (0u64..1_000_000, vec(any::<u8>(), 0..10));
+            let mut rng = SimRng::seed_from_u64(cagc_sim::derive_seed(root_seed(), name));
+            for _ in 0..20 {
+                out.push(strat.generate(&mut rng));
+            }
+            out
+        };
+        assert_eq!(collect("a"), collect("a"));
+        assert_ne!(collect("a"), collect("b"));
+    }
+
+    #[test]
+    fn tuple_shrink_simplifies_each_component() {
+        let strat = (0u64..100, 0u64..100);
+        let cands = strat.shrink(&(10, 20));
+        assert!(cands.iter().any(|&(a, b)| a < 10 && b == 20));
+        assert!(cands.iter().any(|&(a, b)| a == 10 && b < 20));
+        assert!(strat.shrink(&(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn float_range_strategy_respects_bounds() {
+        let strat = 0.25f64..0.75;
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = strat.generate(&mut rng);
+            assert!((0.25..0.75).contains(&v));
+        }
+        assert!(strat.shrink(&0.25).is_empty(), "lower bound is fully shrunk");
+    }
+
+    #[test]
+    fn bool_and_any_strategies_cover_domain() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut saw = [false, false];
+        for _ in 0..100 {
+            saw[usize::from(any::<bool>().generate(&mut rng))] = true;
+        }
+        assert_eq!(saw, [true, true]);
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+        assert!(any::<u64>().shrink(&0).is_empty());
+    }
+}

@@ -1,10 +1,10 @@
 //! Cumulative distribution functions over latency histograms (Fig. 12).
 
 use crate::hist::Histogram;
-use serde::Serialize;
+use cagc_harness::{Json, ToJson};
 
 /// One CDF point: `fraction` of samples are ≤ `value_ns`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CdfPoint {
     /// Latency (ns).
     pub value_ns: u64,
@@ -13,9 +13,24 @@ pub struct CdfPoint {
 }
 
 /// A cumulative distribution extracted from a [`Histogram`].
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Cdf {
     points: Vec<CdfPoint>,
+}
+
+impl ToJson for CdfPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("value_ns", Json::U64(self.value_ns)),
+            ("fraction", Json::F64(self.fraction)),
+        ])
+    }
+}
+
+impl ToJson for Cdf {
+    fn to_json(&self) -> Json {
+        Json::obj([("points", self.points.to_json())])
+    }
 }
 
 impl Cdf {
@@ -123,6 +138,15 @@ mod tests {
         assert!(d.len() <= 10);
         assert_eq!(d.last().unwrap().value_ns, c.points().last().unwrap().value_ns);
         assert!(d.windows(2).all(|w| w[0].value_ns <= w[1].value_ns));
+    }
+
+    #[test]
+    fn cdf_renders_stable_json() {
+        let c = Cdf::from_histogram(&hist_of(&[10, 10, 30, 30]));
+        assert_eq!(
+            c.to_json().render(),
+            r#"{"points":[{"value_ns":10,"fraction":0.5},{"value_ns":30,"fraction":1}]}"#
+        );
     }
 
     #[test]

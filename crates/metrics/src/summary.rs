@@ -1,9 +1,9 @@
 //! Scalar summary statistics and normalization helpers.
 
-use serde::Serialize;
+use cagc_harness::{Json, ToJson};
 
 /// Streaming mean/variance/min/max over `f64` samples (Welford).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -70,6 +70,18 @@ impl Summary {
     }
 }
 
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::U64(self.n)),
+            ("mean", Json::F64(self.mean())),
+            ("std_dev", Json::F64(self.std_dev())),
+            ("min", Json::F64(self.min())),
+            ("max", Json::F64(self.max())),
+        ])
+    }
+}
+
 /// `value / baseline`, the normalization used by Figs. 2 and 11.
 /// Returns 0 when the baseline is 0 (empty run).
 pub fn normalize(value: f64, baseline: f64) -> f64 {
@@ -131,6 +143,18 @@ mod tests {
         let red = reduction_pct(100_000.0, 13_400.0);
         assert!((norm - 0.134).abs() < 1e-12);
         assert!((red - 86.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_renders_stable_json() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 6.0] {
+            s.record(x);
+        }
+        assert_eq!(
+            s.to_json().render(),
+            r#"{"n":3,"mean":4,"std_dev":1.632993161855452,"min":2,"max":6}"#
+        );
     }
 
     #[test]

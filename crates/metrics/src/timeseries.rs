@@ -4,10 +4,10 @@
 //! line up with GC rounds — and to verify steady state was reached before
 //! reading end-of-run counters.
 
-use serde::Serialize;
+use cagc_harness::{Json, ToJson};
 
 /// One aggregated window.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Window {
     /// Window start (ns).
     pub start_ns: u64,
@@ -17,6 +17,17 @@ pub struct Window {
     pub mean: f64,
     /// Maximum value.
     pub max: u64,
+}
+
+impl ToJson for Window {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("start_ns", Json::U64(self.start_ns)),
+            ("count", Json::U64(self.count)),
+            ("mean", Json::F64(self.mean)),
+            ("max", Json::U64(self.max)),
+        ])
+    }
 }
 
 /// Fixed-width windowed aggregation over `(time, value)` samples.
@@ -160,6 +171,17 @@ mod tests {
         let s = ts.sparkline(40);
         assert!(s.chars().count() <= 40);
         assert!(!s.trim().is_empty());
+    }
+
+    #[test]
+    fn window_renders_stable_json() {
+        let mut ts = TimeSeries::new(1_000);
+        ts.record(100, 10);
+        ts.record(900, 30);
+        assert_eq!(
+            ts.windows()[0].to_json().render(),
+            r#"{"start_ns":0,"count":2,"mean":20,"max":30}"#
+        );
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! Property-based tests for the metrics substrate.
 
 use cagc_metrics::{Cdf, Histogram, Summary};
-use proptest::prelude::*;
+use cagc_harness::prop::*;
 
-proptest! {
+harness_proptest! {
     /// The histogram's count/mean/min/max are exact for any input.
     #[test]
-    fn histogram_exact_moments(values in prop::collection::vec(0u64..10_000_000, 1..500)) {
+    fn histogram_exact_moments(values in vec(0u64..10_000_000, 1..500)) {
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -20,7 +20,7 @@ proptest! {
 
     /// Quantiles are monotone in q and bounded by [min, max].
     #[test]
-    fn histogram_quantiles_monotone(values in prop::collection::vec(1u64..100_000_000, 1..300)) {
+    fn histogram_quantiles_monotone(values in vec(1u64..100_000_000, 1..300)) {
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -37,7 +37,7 @@ proptest! {
 
     /// Quantile relative error is bounded by the bucket design (~3.2%).
     #[test]
-    fn histogram_quantile_error_bounded(values in prop::collection::vec(1u64..1_000_000_000, 10..300)) {
+    fn histogram_quantile_error_bounded(values in vec(1u64..1_000_000_000, 10..300)) {
         let mut h = Histogram::new();
         let mut sorted = values.clone();
         for &v in &values {
@@ -58,8 +58,8 @@ proptest! {
 
     /// Merging histograms equals recording the concatenation.
     #[test]
-    fn histogram_merge_is_concat(a in prop::collection::vec(0u64..1_000_000, 0..200),
-                                 b in prop::collection::vec(0u64..1_000_000, 0..200)) {
+    fn histogram_merge_is_concat(a in vec(0u64..1_000_000, 0..200),
+                                 b in vec(0u64..1_000_000, 0..200)) {
         let mut ha = Histogram::new();
         let mut hb = Histogram::new();
         let mut hc = Histogram::new();
@@ -76,7 +76,7 @@ proptest! {
 
     /// A CDF built from any histogram is monotone, in [0,1], ends at 1.
     #[test]
-    fn cdf_is_a_distribution(values in prop::collection::vec(0u64..50_000_000, 1..300)) {
+    fn cdf_is_a_distribution(values in vec(0u64..50_000_000, 1..300)) {
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -96,7 +96,7 @@ proptest! {
 
     /// Welford summary matches naive two-pass computation.
     #[test]
-    fn summary_matches_two_pass(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+    fn summary_matches_two_pass(values in vec(-1e6f64..1e6, 1..300)) {
         let mut s = Summary::new();
         for &v in &values {
             s.record(v);

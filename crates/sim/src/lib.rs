@@ -5,7 +5,7 @@
 //! [FlashSim] (Kim et al., SIMUTools'09), which the paper used for its
 //! prototype.
 //!
-//! It provides three small, heavily-tested building blocks:
+//! It provides four small, heavily-tested building blocks:
 //!
 //! * [`time`] — a `u64`-nanosecond simulated time base with readable
 //!   constructors (`us(12)`, `ms(2)`) and a monotonic [`time::Clock`].
@@ -17,6 +17,9 @@
 //!   operation *reserves* an interval and the timeline returns when the
 //!   operation actually starts and completes; utilisation accounting comes
 //!   for free. [`timeline::TimelineGroup`] manages an indexed set of them.
+//! * [`rng`] — [`rng::derive_seed`] for correlation-free named seed streams
+//!   and [`rng::SimRng`], the deterministic xoshiro256++ generator used by
+//!   every random consumer in the workspace (no external `rand`).
 //!
 //! Everything here is deterministic and allocation-light: the hot paths
 //! (`reserve`, `push`/`pop`) do no heap allocation beyond the containers'
@@ -54,6 +57,6 @@ pub mod time;
 pub mod timeline;
 
 pub use event::{Event, EventQueue};
-pub use rng::derive_seed;
+pub use rng::{derive_seed, SimRng};
 pub use time::{ms, ns, sec, us, Clock, Nanos};
 pub use timeline::{Reservation, Timeline, TimelineGroup};

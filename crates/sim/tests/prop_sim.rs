@@ -3,13 +3,13 @@
 use cagc_sim::event::EventQueue;
 use cagc_sim::time::Nanos;
 use cagc_sim::timeline::Timeline;
-use proptest::prelude::*;
+use cagc_harness::prop::*;
 
-proptest! {
+harness_proptest! {
     /// Events always pop in nondecreasing timestamp order, and ties preserve
     /// push (FIFO) order.
     #[test]
-    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000, 1..200)) {
+    fn event_queue_is_a_stable_priority_queue(times in vec(0u64..1_000, 1..200)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(t, i);
@@ -28,7 +28,7 @@ proptest! {
 
     /// Popping a queue returns exactly the multiset of pushed payloads.
     #[test]
-    fn event_queue_loses_nothing(times in prop::collection::vec(0u64..100, 0..100)) {
+    fn event_queue_loses_nothing(times in vec(0u64..100, 0..100)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(t, i);
@@ -43,7 +43,7 @@ proptest! {
     /// the sum of durations.
     #[test]
     fn timeline_reservations_never_overlap(
-        ops in prop::collection::vec((0u64..10_000, 1u64..500), 1..200)
+        ops in vec((0u64..10_000, 1u64..500), 1..200)
     ) {
         let mut t = Timeline::new();
         let mut prev_end = 0u64;
@@ -67,7 +67,7 @@ proptest! {
     /// (arrival_i + sum of durations i..=k).
     #[test]
     fn timeline_matches_lindley_recurrence(
-        ops in prop::collection::vec((0u64..1_000, 1u64..100), 1..100)
+        ops in vec((0u64..1_000, 1u64..100), 1..100)
     ) {
         // Sort arrivals to form a valid arrival process.
         let mut arrivals: Vec<(u64, u64)> = ops;

@@ -21,8 +21,7 @@
 use crate::trace::{Request, Trace};
 use crate::zipf::Zipf;
 use cagc_dedup::ContentId;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cagc_sim::SimRng;
 
 /// Parameters of a synthetic workload.
 #[derive(Debug, Clone)]
@@ -110,7 +109,7 @@ impl SynthConfig {
         }
         assert!(self.mean_req_pages >= 1.0, "mean_req_pages must be >= 1");
 
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = SimRng::seed_from_u64(self.seed);
         let lpn_zipf = Zipf::new(self.lpn_theta);
         let content_zipf = Zipf::new(self.content_theta);
         let mut gen = ContentGen::new(self.dedup_ratio, content_zipf);
@@ -150,7 +149,7 @@ impl SynthConfig {
             remaining_in_burst -= 1;
             let pages = self.draw_len(&mut rng);
             let start = self.draw_lpn(pages, &lpn_zipf, &mut rng);
-            let r: f64 = rng.gen();
+            let r = rng.next_f64();
             if r < self.trim_ratio {
                 requests.push(Request::trim(now, start, pages));
             } else if r < self.trim_ratio + (1.0 - self.trim_ratio) * self.write_ratio {
@@ -165,18 +164,18 @@ impl SynthConfig {
         Trace::new(self.name.clone(), self.logical_pages, requests)
     }
 
-    fn draw_len(&self, rng: &mut SmallRng) -> u32 {
+    fn draw_len(&self, rng: &mut SimRng) -> u32 {
         // Geometric with mean `mean_req_pages`, clamped to the space.
         let p = 1.0 / self.mean_req_pages;
         let mut len = 1u32;
         let cap = self.max_req_pages.max(1).min(self.logical_pages as u32);
-        while len < cap && rng.gen::<f64>() > p {
+        while len < cap && rng.next_f64() > p {
             len += 1;
         }
         len
     }
 
-    fn draw_lpn(&self, pages: u32, zipf: &Zipf, rng: &mut SmallRng) -> u64 {
+    fn draw_lpn(&self, pages: u32, zipf: &Zipf, rng: &mut SimRng) -> u64 {
         // Zipf rank, scattered across the space by a multiplicative hash so
         // hot pages do not clump into a few physical blocks artificially.
         let rank = zipf.sample(self.logical_pages, rng);
@@ -198,8 +197,8 @@ impl ContentGen {
         Self { dedup_ratio, zipf, pool: Vec::new(), next_unique: 0 }
     }
 
-    fn next_content(&mut self, rng: &mut SmallRng) -> ContentId {
-        if !self.pool.is_empty() && rng.gen::<f64>() < self.dedup_ratio {
+    fn next_content(&mut self, rng: &mut SimRng) -> ContentId {
+        if !self.pool.is_empty() && rng.next_f64() < self.dedup_ratio {
             let rank = self.zipf.sample(self.pool.len() as u64, rng);
             self.pool[rank as usize]
         } else {
@@ -211,19 +210,19 @@ impl ContentGen {
     }
 }
 
-fn exp_gap(mean_ns: u64, rng: &mut SmallRng) -> u64 {
+fn exp_gap(mean_ns: u64, rng: &mut SimRng) -> u64 {
     if mean_ns == 0 {
         return 0;
     }
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u = rng.next_f64().max(f64::MIN_POSITIVE);
     (-u.ln() * mean_ns as f64) as u64
 }
 
 /// Geometric draw with the given mean (support `1..`).
-fn geometric(mean: f64, rng: &mut SmallRng) -> u32 {
+fn geometric(mean: f64, rng: &mut SimRng) -> u32 {
     let p = 1.0 / mean.max(1.0);
     let mut n = 1u32;
-    while n < 10_000 && rng.gen::<f64>() > p {
+    while n < 10_000 && rng.next_f64() > p {
         n += 1;
     }
     n

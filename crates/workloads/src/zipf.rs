@@ -8,7 +8,7 @@
 //! `theta = 0` (uniform), cheap (no per-`n` zeta precomputation, so the
 //! support may grow every request), and deterministic under a seeded RNG.
 
-use rand::Rng;
+use cagc_sim::SimRng;
 
 /// A Zipf-like sampler over `{0, 1, …}` with rank 0 most popular.
 #[derive(Debug, Clone, Copy)]
@@ -27,11 +27,11 @@ impl Zipf {
     }
 
     /// Sample a rank in `[0, n)`. Returns 0 for `n <= 1`.
-    pub fn sample<R: Rng>(&self, n: u64, rng: &mut R) -> u64 {
+    pub fn sample(&self, n: u64, rng: &mut SimRng) -> u64 {
         if n <= 1 {
             return 0;
         }
-        let u: f64 = rng.gen();
+        let u = rng.next_f64();
         let r = (n as f64 * u.powf(self.exponent)) as u64;
         r.min(n - 1)
     }
@@ -40,12 +40,10 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn sample_counts(theta: f64, n: u64, draws: usize) -> Vec<u64> {
         let z = Zipf::new(theta);
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         let mut counts = vec![0u64; n as usize];
         for _ in 0..draws {
             counts[z.sample(n, &mut rng) as usize] += 1;
@@ -76,7 +74,7 @@ mod tests {
     #[test]
     fn samples_stay_in_range() {
         let z = Zipf::new(0.99);
-        let mut rng = SmallRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         for n in [1u64, 2, 3, 1000] {
             for _ in 0..1000 {
                 assert!(z.sample(n, &mut rng) < n);
@@ -95,11 +93,11 @@ mod tests {
     fn deterministic_under_seed() {
         let z = Zipf::new(0.8);
         let a: Vec<u64> = {
-            let mut rng = SmallRng::seed_from_u64(3);
+            let mut rng = SimRng::seed_from_u64(3);
             (0..100).map(|_| z.sample(500, &mut rng)).collect()
         };
         let b: Vec<u64> = {
-            let mut rng = SmallRng::seed_from_u64(3);
+            let mut rng = SimRng::seed_from_u64(3);
             (0..100).map(|_| z.sample(500, &mut rng)).collect()
         };
         assert_eq!(a, b);

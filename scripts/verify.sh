@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, fully offline (the workspace has zero
+# external crate dependencies — see README "Hermetic build").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== clippy (offline, deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== smoke: regenerate Fig. 9 =="
+cargo run --release --offline -p cagc-bench --bin repro -- fig9
+
+echo "verify: OK"

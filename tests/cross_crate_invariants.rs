@@ -3,7 +3,7 @@
 //! consistency after every run.
 
 use cagc::prelude::*;
-use proptest::prelude::*;
+use cagc_harness::prop::*;
 
 fn tiny_trace(
     seed: u64,
@@ -28,8 +28,8 @@ fn tiny_trace(
     .generate()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+harness_proptest! {
+    #![config(cases = 12)]
 
     /// Whatever the workload shape, every scheme ends in a consistent
     /// state: forward/reverse maps agree, refcounts equal sharer counts,

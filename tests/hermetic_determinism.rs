@@ -1,0 +1,56 @@
+//! Determinism regression for the hermetic substrate: the pool's worker
+//! count and repeated runs must never change a single byte of output.
+//!
+//! Each `RunReport` is rendered through `cagc_harness::json` (stable key
+//! order, exact integer rendering, shortest-round-trip floats), so byte
+//! equality of the serialized reports is equality of every counter,
+//! quantile and distribution the paper's figures read.
+
+use cagc::prelude::*;
+use cagc_harness::ToJson;
+
+/// A Fig. 9-style workload: the Mail trace shape (highest dedup ratio of
+/// Table II) against the tiny ULL device, aged enough for GC to run.
+fn fig9_style_trace(seed: u64) -> Trace {
+    let flash = UllConfig::tiny_for_tests();
+    FiuWorkload::Mail
+        .synth_config((flash.logical_pages() as f64 * 0.9) as u64, 6_000, seed)
+        .generate()
+}
+
+fn grid(trace: &Trace) -> Vec<(SsdConfig, &Trace)> {
+    Scheme::EXTENDED.iter().map(|&s| (SsdConfig::tiny(s), trace)).collect()
+}
+
+fn render_all(reports: &[RunReport]) -> Vec<String> {
+    reports.iter().map(|r| r.to_json().render()).collect()
+}
+
+#[test]
+fn worker_count_never_changes_rendered_reports() {
+    let trace = fig9_style_trace(9);
+    let cells = grid(&trace);
+    let serial = render_all(&run_cells(&cells, 1));
+    for workers in [2, 3, 8, 0 /* 0 = available_parallelism */] {
+        let parallel = render_all(&run_cells(&cells, workers));
+        assert_eq!(
+            serial, parallel,
+            "workers={workers} produced different serialized reports"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let trace_a = fig9_style_trace(9);
+    let trace_b = fig9_style_trace(9);
+    assert_eq!(trace_a, trace_b, "trace generation must be deterministic");
+    let first = render_all(&run_cells(&grid(&trace_a), 4));
+    let second = render_all(&run_cells(&grid(&trace_b), 4));
+    assert_eq!(first, second);
+    // And the reports actually contain figure-bearing content.
+    for json in &first {
+        assert!(json.contains("\"blocks_erased\":"));
+        assert!(json.contains("\"p999_ns\":"));
+    }
+}
