@@ -1,0 +1,43 @@
+//! Trim-intensity sweep: full replay of the same seeded workload at
+//! several injected trim fractions, honoring vs ignoring the hints. The
+//! recorded time is the simulator-side cost of a whole replay; the
+//! artifact's parameter axis is the Frankie-style overprovisioning curve
+//! (`BENCH_trim.json`, one sample checked into `results/`).
+
+use cagc_core::{Scheme, Ssd, SsdConfig};
+use cagc_harness::bench::{BatchSize, Bench, BenchmarkId};
+use cagc_workloads::{inject_trims, FiuWorkload, Trace};
+
+/// The base stream every point derives from (tiny device so a full replay
+/// stays micro-benchmark sized).
+fn base_trace() -> Trace {
+    let cfg = SsdConfig::tiny(Scheme::Baseline);
+    let footprint = (cfg.flash.logical_pages() as f64 * 0.85) as u64;
+    FiuWorkload::WebVm.synth_config(footprint, 6_000, 7).generate()
+}
+
+fn bench_trim_sweep(c: &mut Bench) {
+    let base = base_trace();
+    let mut g = c.benchmark_group("trim_sweep_replay");
+    g.sample_size(10);
+    for frac in [0u32, 10, 20, 35] {
+        let trace = inject_trims(&base, frac as f64 / 100.0, 6, 7);
+        for honor in [true, false] {
+            let label = format!("trim{frac}pct_{}", if honor { "honored" } else { "ignored" });
+            g.bench_with_input(BenchmarkId::from_parameter(&label), &trace, |b, trace| {
+                b.iter_batched(
+                    || {
+                        let mut cfg = SsdConfig::tiny(Scheme::Cagc);
+                        cfg.honor_trim = honor;
+                        Ssd::new(cfg)
+                    },
+                    |mut ssd| ssd.replay(trace),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+cagc_harness::harness_bench_main!(bench_trim_sweep);

@@ -75,6 +75,18 @@ pub struct SsdConfig {
     pub read_miss_ns: Nanos,
     /// Fingerprint index probe/update cost on the critical path.
     pub lookup_ns: Nanos,
+    /// Honor host trim (deallocate) hints. When true (default), a trim
+    /// releases each logical page immediately: the mapping clears, the
+    /// backing page's reference count drops, and a page whose last
+    /// reference disappears is invalidated in place — attributed as trim
+    /// garbage for victim scoring (dynamic overprovisioning, Frankie
+    /// et al.). When false the trim is acknowledged (counted, charged
+    /// `trim_ns`) but ignored: data stays live and GC keeps migrating it —
+    /// the trim-blind device the `trim_sensitivity` study compares against.
+    pub honor_trim: bool,
+    /// Controller metadata cost to service one trim request (no die work:
+    /// a trim touches mapping tables only, never NAND).
+    pub trim_ns: Nanos,
     /// CAGC ablation: when false, GC hashing is serialized into the
     /// migration pipeline instead of overlapping on the hash engine
     /// (isolates the parallelization claim of Sec. III-B).
@@ -129,6 +141,8 @@ impl SsdConfig {
             gc_victims_per_trigger: 1,
             read_miss_ns: us(1),
             lookup_ns: us(1),
+            honor_trim: true,
+            trim_ns: us(1),
             overlap_hash: true,
             placement: true,
             idle_gc: false,
@@ -180,6 +194,13 @@ mod tests {
         assert!(low_blocks < total * c.flash.op_ratio + c.gc_reserve_blocks as f64 + 2.0);
         assert!(c.gc_high > c.gc_low);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn trims_are_honored_by_default() {
+        let c = SsdConfig::tiny(Scheme::Baseline);
+        assert!(c.honor_trim, "paper config honors trim hints");
+        assert!(c.trim_ns > 0, "trim service has an explicit metadata cost");
     }
 
     #[test]

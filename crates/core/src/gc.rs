@@ -131,6 +131,7 @@ impl Ssd {
                 block: b,
                 valid: blk.valid_count(),
                 invalid: blk.invalid_count(),
+                trimmed: blk.trimmed_count(),
                 pages: blk.pages(),
                 erase_count: blk.erase_count(),
                 last_modified: blk.last_modified(),
@@ -157,6 +158,9 @@ impl Ssd {
             }
             Scheme::Cagc => self.migrate_content_aware(victim, &valids, t),
         };
+        // Snapshot before the erase resets the block's trim attribution:
+        // every trim-invalidated page reclaimed here is a migration avoided.
+        self.gc_stats.trim_reclaimed_pages += self.dev.block(victim).trimmed_count() as u64;
         let erase = self.dev.erase(victim, done);
         self.alloc.release(victim);
         self.gc_stats.blocks_erased += 1;

@@ -109,6 +109,20 @@ pub struct RunReport {
     pub read_misses: u64,
     /// Trim requests processed.
     pub trims: u64,
+    /// Trim-request latency summary (metadata-only: a flat `trim_ns`
+    /// controller charge, never die time).
+    pub trim_lat: LatencySummary,
+    /// Whether this run honored trim hints (`SsdConfig::honor_trim`). A
+    /// `false` here marks the trim-blind arm of a sensitivity study.
+    pub honor_trim: bool,
+    /// Pages invalidated in place by host trims (the device-level count;
+    /// a trim of a *shared* deduplicated page only drops a reference and
+    /// is counted in `trim_ref_releases` instead until the count hits 0).
+    pub trim_invalidated_pages: u64,
+    /// Reference-count drops attributed to trims of tracked (deduplicated)
+    /// pages — the refcount-decay signal that lets a trimmed shared page
+    /// fall back from cold to hot placement on its next GC migration.
+    pub trim_ref_releases: u64,
 
     /// Wear: (min, max, mean) erase count across blocks.
     pub wear: (u32, u32, f64),
@@ -162,6 +176,7 @@ impl RunReport {
              \x20 during GC: {}\n\
              \x20 GC       : {} rounds, {} blocks erased, {} pages migrated, {} scanned, {} dedup hits\n\
              \x20 placement: {} promotions, {} demotions\n\
+             \x20 trim     : honored={}, {} requests, {} pages invalidated, {} shared-ref drops, {} reclaimed without migration\n\
              \x20 traffic  : {} host pages, {} user programs, {} total programs (WAF {:.3})\n\
              \x20 invalidations by refcount: {}\n\
              \x20 wear     : erase min {} / max {} / mean {:.2} / stddev {:.2}\n\
@@ -180,6 +195,11 @@ impl RunReport {
             self.gc.dedup_hits,
             self.gc.promotions,
             self.gc.demotions,
+            self.honor_trim,
+            self.trims,
+            self.trim_invalidated_pages,
+            self.trim_ref_releases,
+            self.gc.trim_reclaimed_pages,
             self.host_pages_written,
             self.user_programs,
             self.total_programs,
@@ -223,6 +243,7 @@ impl ToJson for RunReport {
                     ("dedup_hits", Json::U64(self.gc.dedup_hits)),
                     ("promotions", Json::U64(self.gc.promotions)),
                     ("demotions", Json::U64(self.gc.demotions)),
+                    ("trim_reclaimed_pages", Json::U64(self.gc.trim_reclaimed_pages)),
                     ("busy_ns", Json::U64(self.gc.busy_ns)),
                 ]),
             ),
@@ -245,6 +266,10 @@ impl ToJson for RunReport {
             ("total_erases", Json::U64(self.total_erases)),
             ("read_misses", Json::U64(self.read_misses)),
             ("trims", Json::U64(self.trims)),
+            ("trim_lat", self.trim_lat.to_json()),
+            ("honor_trim", Json::Bool(self.honor_trim)),
+            ("trim_invalidated_pages", Json::U64(self.trim_invalidated_pages)),
+            ("trim_ref_releases", Json::U64(self.trim_ref_releases)),
             (
                 "wear",
                 Json::obj([
@@ -307,6 +332,10 @@ mod tests {
             total_erases: 0,
             read_misses: 0,
             trims: 0,
+            trim_lat: LatencySummary::of(&Histogram::new()),
+            honor_trim: true,
+            trim_invalidated_pages: 0,
+            trim_ref_releases: 0,
             wear: (0, 0, 0.0),
             wear_stddev: 0.0,
             die_utilization: (0.0, 0.0, 0.0),

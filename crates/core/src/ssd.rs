@@ -34,6 +34,17 @@ use crate::report::{LatencySummary, RunReport};
 /// Sentinel for "no content recorded" in the per-PPN content table.
 const NO_CONTENT: u64 = u64::MAX;
 
+/// Why a logical page's mapping is being dropped. Overwrites and trims
+/// drive identical state transitions; the cause only controls *attribution*
+/// (trim garbage is counted per block, per refcount drop, and in reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReleaseCause {
+    /// A newer write replaced the mapping.
+    Overwrite,
+    /// The host deallocated the logical page.
+    Trim,
+}
+
 /// A fully-assembled simulated SSD running one scheme.
 ///
 /// `Clone` snapshots the complete device state (blocks, mapping, index,
@@ -62,6 +73,7 @@ pub struct Ssd {
     lat_all: Histogram,
     lat_read: Histogram,
     lat_write: Histogram,
+    lat_trim: Histogram,
     lat_during_gc: Histogram,
     /// Requests arriving before this instant fall inside an active GC
     /// round ("GC periods", the regime Fig. 11 averages over).
@@ -103,6 +115,7 @@ impl Ssd {
             lat_all: Histogram::new(),
             lat_read: Histogram::new(),
             lat_write: Histogram::new(),
+            lat_trim: Histogram::new(),
             lat_during_gc: Histogram::new(),
             gc_active_until: 0,
             host_pages_written: 0,
@@ -174,10 +187,14 @@ impl Ssd {
             }
             OpKind::Trim => {
                 self.trims += 1;
-                for lpn in req.lpns() {
-                    self.release_lpn(lpn, at);
+                if self.cfg.honor_trim {
+                    for lpn in req.lpns() {
+                        self.release_lpn_as(lpn, at, ReleaseCause::Trim);
+                    }
                 }
-                at + self.cfg.lookup_ns
+                // Metadata-only: the mapping tables are updated but no die
+                // is touched, so the cost is a flat controller charge.
+                at + self.cfg.trim_ns
             }
         };
         let latency = completion - at;
@@ -190,7 +207,7 @@ impl Ssd {
         match req.kind {
             OpKind::Read => self.lat_read.record(latency),
             OpKind::Write => self.lat_write.record(latency),
-            OpKind::Trim => {}
+            OpKind::Trim => self.lat_trim.record(latency),
         }
         self.end_ns = self.end_ns.max(completion);
         completion
@@ -234,6 +251,10 @@ impl Ssd {
             total_erases: self.dev.stats().erases,
             read_misses: self.read_misses,
             trims: self.trims,
+            trim_lat: LatencySummary::of(&self.lat_trim),
+            honor_trim: self.cfg.honor_trim,
+            trim_invalidated_pages: self.dev.stats().trimmed_pages,
+            trim_ref_releases: self.index.ref_stats().trim_releases(),
             wear: self.dev.wear_summary(),
             wear_stddev: self.dev.wear_stddev(),
             die_utilization: self.die_utilization(),
@@ -381,23 +402,41 @@ impl Ssd {
     /// reference count; the physical page is invalidated only when its last
     /// reference disappears (Sec. III-A).
     pub(crate) fn release_lpn(&mut self, lpn: Lpn, now: Nanos) {
+        self.release_lpn_as(lpn, now, ReleaseCause::Overwrite);
+    }
+
+    /// [`Ssd::release_lpn`] with the cause spelled out. Trim-caused
+    /// releases take the *attributed* paths down the stack
+    /// ([`FlashDevice::deallocate`], `FingerprintIndex::release_ppn_trimmed`)
+    /// so per-block trim garbage, refcount decay and report counters can
+    /// all tell deallocation apart from overwrites; the state transitions
+    /// themselves are identical.
+    pub(crate) fn release_lpn_as(&mut self, lpn: Lpn, now: Nanos, cause: ReleaseCause) {
         let Some(old) = self.map.clear(lpn) else { return };
         let remaining_lpns = self.rmap.remove(old, lpn);
+        let invalidate = |dev: &mut FlashDevice| match cause {
+            ReleaseCause::Overwrite => dev.invalidate(old, now),
+            ReleaseCause::Trim => dev.deallocate(old, now),
+        };
         match self.cfg.scheme {
             Scheme::Baseline => {
                 debug_assert_eq!(remaining_lpns, 0, "baseline mapping must be 1:1");
-                self.dev.invalidate(old, now);
+                invalidate(&mut self.dev);
             }
             Scheme::InlineDedup | Scheme::InlineSampled | Scheme::Cagc => {
-                match self.index.release_ppn(old) {
-                    Some(0) => self.dev.invalidate(old, now),
+                let released = match cause {
+                    ReleaseCause::Overwrite => self.index.release_ppn(old),
+                    ReleaseCause::Trim => self.index.release_ppn_trimmed(old),
+                };
+                match released {
+                    Some(0) => invalidate(&mut self.dev),
                     Some(_) => {} // other logical pages still share the content
                     None => {
                         // Untracked page (CAGC: not yet migrated through
                         // GC; Inline-Sampled: stored on a pre-hash miss).
                         // Exactly one LPN referenced it.
                         debug_assert_eq!(remaining_lpns, 0, "untracked page had sharers");
-                        self.dev.invalidate(old, now);
+                        invalidate(&mut self.dev);
                         self.index.record_untracked_invalidation();
                     }
                 }

@@ -113,6 +113,63 @@ fn trim_releases_references() {
 }
 
 #[test]
+fn trim_latency_is_an_explicit_metadata_cost() {
+    // Satellite bugfix: a trim's latency used to vanish into an empty
+    // match arm. It must be recorded, and equal the configured flat
+    // controller charge (no die work).
+    let mut s = ssd(Scheme::Baseline);
+    s.process(&Request::write(0, 0, vec![ContentId(1)]));
+    let t = us(100);
+    let done = s.process(&Request::trim(t, 0, 1));
+    assert_eq!(done - t, s.config().trim_ns);
+    let r = s.report("t");
+    assert_eq!(r.trim_lat.count, 1, "trim latency must land in its histogram");
+    assert_eq!(r.trim_lat.max_ns, s.config().trim_ns);
+    assert_eq!(r.trim_invalidated_pages, 1);
+    assert!(r.honor_trim);
+    // Metadata-only: the flash op counters saw nothing new.
+    assert_eq!(s.device().stats().reads, 0);
+    assert_eq!(s.device().stats().programs, 1);
+    s.audit().unwrap();
+}
+
+#[test]
+fn ignored_trims_are_charged_but_keep_data_live() {
+    let mut cfg = SsdConfig::tiny(Scheme::Baseline);
+    cfg.honor_trim = false;
+    let mut s = Ssd::new(cfg);
+    s.process(&Request::write(0, 0, vec![ContentId(5)]));
+    let t = us(100);
+    let done = s.process(&Request::trim(t, 0, 1));
+    assert_eq!(done - t, s.config().trim_ns, "trim still pays its service cost");
+    assert_eq!(s.stored_content(0), Some(ContentId(5)), "data stays live");
+    let r = s.report("t");
+    assert_eq!(r.trims, 1);
+    assert_eq!(r.trim_invalidated_pages, 0);
+    assert!(!r.honor_trim);
+    s.audit().unwrap();
+}
+
+#[test]
+fn trim_of_shared_page_drops_a_reference_with_attribution() {
+    let mut s = ssd(Scheme::InlineDedup);
+    s.process(&Request::write(0, 0, vec![ContentId(1)]));
+    s.process(&Request::write(us(20), 1, vec![ContentId(1)]));
+    s.process(&Request::trim(us(100), 0, 1));
+    s.audit().unwrap();
+    let r = s.report("t");
+    assert_eq!(r.trim_ref_releases, 1);
+    assert_eq!(r.trim_invalidated_pages, 0, "shared copy must stay valid");
+    assert_eq!(s.stored_content(1), Some(ContentId(1)));
+    // The second trim removes the last reference and kills the copy.
+    s.process(&Request::trim(us(200), 1, 1));
+    s.audit().unwrap();
+    let r = s.report("t");
+    assert_eq!(r.trim_ref_releases, 2);
+    assert_eq!(r.trim_invalidated_pages, 1);
+}
+
+#[test]
 fn fig8_scenario_cagc_stores_7_unique_pages_after_gc() {
     // Fig. 8: four files (12 chunk writes, 7 unique contents), delete
     // files 2 and 4. Under CAGC the GC pass dedups the migrated pages.

@@ -146,6 +146,18 @@ impl FingerprintIndex {
         }
     }
 
+    /// Drop one reference from the page stored at `ppn` because the host
+    /// trimmed a sharing logical page. Same return contract as
+    /// [`FingerprintIndex::release_ppn`], but when the ppn is tracked the
+    /// drop is also counted in [`RefCountStats::trim_releases`], so reports
+    /// can tell how much of the refcount decay came from deallocation
+    /// rather than overwrites.
+    pub fn release_ppn_trimmed(&mut self, ppn: u64) -> Option<u32> {
+        let remaining = self.release_ppn(ppn)?;
+        self.ref_stats.record_trim_release();
+        Some(remaining)
+    }
+
     /// Current reference count of the page at `ppn` (`None` if untracked).
     pub fn refs_of_ppn(&self, ppn: u64) -> Option<u32> {
         self.by_ppn.get(&ppn).map(|fp| self.by_fp[fp].refs)
@@ -283,6 +295,21 @@ mod tests {
     fn untracked_release_returns_none() {
         let mut ix = FingerprintIndex::new();
         assert_eq!(ix.release_ppn(999), None);
+    }
+
+    #[test]
+    fn trimmed_release_attributes_the_drop() {
+        let mut ix = FingerprintIndex::new();
+        ix.insert(fp(1), 100, 2);
+        assert_eq!(ix.release_ppn_trimmed(100), Some(1));
+        assert_eq!(ix.ref_stats().trim_releases(), 1);
+        // Taking the count to zero still records the Fig. 6 invalidation.
+        assert_eq!(ix.release_ppn_trimmed(100), Some(0));
+        assert_eq!(ix.ref_stats().trim_releases(), 2);
+        assert_eq!(ix.ref_stats().total(), 1);
+        // Untracked pages don't count as trim releases.
+        assert_eq!(ix.release_ppn_trimmed(100), None);
+        assert_eq!(ix.ref_stats().trim_releases(), 2);
     }
 
     #[test]

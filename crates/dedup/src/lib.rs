@@ -17,6 +17,31 @@
 //! * [`engine`] — [`HashEngine`], the 14 µs/page hash-unit *timing* model
 //!   (Table I), and [`ParallelHasher`], a real multi-threaded page hasher
 //!   for benches and real-content runs.
+//!
+//! ## Reference-count lifecycle
+//!
+//! A physical page enters the index at refcount 1 when its fingerprint
+//! is first stored ([`FingerprintIndex::insert`]). Each later write of
+//! the same content maps another LPN to the same PPN and bumps the
+//! count ([`FingerprintIndex::add_refs`]). References drop one of two
+//! ways, and the distinction is what the trim study measures:
+//!
+//! * **Overwrite** — the host rewrites an LPN with new content;
+//!   [`FingerprintIndex::release_ppn`] decrements the old PPN's count.
+//! * **Trim** — the host deallocates the LPN;
+//!   [`FingerprintIndex::release_ppn_trimmed`] is `release_ppn` plus
+//!   attribution: [`RefCountStats`] counts the drop in
+//!   `trim_releases()` without disturbing the Fig. 6 buckets.
+//!
+//! Either way the page stays live while the count is positive — a trim
+//! of a shared page must *not* deallocate flash state, because other
+//! LPNs still resolve to it. Only the release that takes the count to
+//! zero invalidates the physical page (the caller then tells the flash
+//! layer, with the cause preserved: invalidate for overwrite,
+//! deallocate for trim — see `docs/TRIM.md`). [`RefCountStats`] buckets
+//! each zero-crossing by the page's *peak* refcount, which is exactly
+//! the Fig. 6 motivation measurement: pages that were ever shared die
+//! slower, so migrating them blindly is the waste CAGC removes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -8,9 +8,17 @@
 //! shared by four files before they were all deleted lands in ">3".
 
 /// Invalidations bucketed by peak reference count {1, 2, 3, >3}.
+///
+/// Besides the Fig. 6 buckets this also tracks how many reference drops
+/// were caused by host trims (deallocations) rather than overwrites — the
+/// signal behind trim-aware placement: a shared page whose sharers are
+/// being trimmed away is *cooling down* and will fall back from the cold
+/// region to hot on its next GC migration once its count crosses back
+/// under the threshold.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RefCountStats {
     buckets: [u64; 4],
+    trim_releases: u64,
 }
 
 impl RefCountStats {
@@ -28,6 +36,18 @@ impl RefCountStats {
             _ => 3,
         };
         self.buckets[b] += 1;
+    }
+
+    /// Record one reference drop caused by a host trim. Orthogonal to the
+    /// buckets: a trim that takes a count to zero *also* records an
+    /// invalidation via [`RefCountStats::record_invalidation`].
+    pub fn record_trim_release(&mut self) {
+        self.trim_releases += 1;
+    }
+
+    /// Reference drops attributed to host trims (deallocations).
+    pub fn trim_releases(&self) -> u64 {
+        self.trim_releases
     }
 
     /// Raw bucket counts `[ref==1, ref==2, ref==3, ref>3]`.
@@ -54,6 +74,7 @@ impl RefCountStats {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets) {
             *a += b;
         }
+        self.trim_releases += other.trim_releases;
     }
 }
 
@@ -107,5 +128,19 @@ mod tests {
         b.record_invalidation(1);
         a.merge(&b);
         assert_eq!(a.buckets(), [2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn trim_releases_are_counted_and_merged() {
+        let mut a = RefCountStats::new();
+        a.record_trim_release();
+        a.record_trim_release();
+        // Trim attribution does not disturb the Fig. 6 buckets.
+        assert_eq!(a.trim_releases(), 2);
+        assert_eq!(a.total(), 0);
+        let mut b = RefCountStats::new();
+        b.record_trim_release();
+        a.merge(&b);
+        assert_eq!(a.trim_releases(), 3);
     }
 }

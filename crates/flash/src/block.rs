@@ -32,6 +32,9 @@ pub struct Block {
     write_ptr: u32,
     erase_count: u32,
     last_modified_ns: Nanos,
+    /// Invalid pages whose invalidation came from a host trim (deallocate)
+    /// rather than an overwrite. Reset on erase.
+    trimmed: u32,
 }
 
 impl Block {
@@ -43,6 +46,7 @@ impl Block {
             write_ptr: 0,
             erase_count: 0,
             last_modified_ns: 0,
+            trimmed: 0,
         }
     }
 
@@ -106,6 +110,16 @@ impl Block {
         self.erase_count
     }
 
+    /// Invalid pages in this block whose invalidation was a host trim
+    /// (see [`Block::deallocate`]). Always ≤ [`Block::invalid_count`];
+    /// resets to zero on erase. Victim policies use this to prefer blocks
+    /// whose garbage is *stable* — trimmed pages never come back, while an
+    /// overwrite-hot block keeps accumulating invalid pages if left alone.
+    #[inline]
+    pub fn trimmed_count(&self) -> u32 {
+        self.trimmed
+    }
+
     /// Timestamp of the last program/invalidate/erase that touched the block.
     #[inline]
     pub fn last_modified(&self) -> Nanos {
@@ -145,6 +159,19 @@ impl Block {
         }
     }
 
+    /// Mark a valid page invalid because the host trimmed (deallocated) its
+    /// last logical reference. Identical to [`Block::invalidate`] at the
+    /// state-machine level, but attributed: the block remembers how many of
+    /// its invalid pages are trim garbage (see [`Block::trimmed_count`]).
+    ///
+    /// # Panics
+    /// Panics if the page is not currently `Valid` (same contract as
+    /// [`Block::invalidate`]).
+    pub fn deallocate(&mut self, page: u32, now: Nanos) {
+        self.invalidate(page, now);
+        self.trimmed += 1;
+    }
+
     /// Erase the block: all pages become `Free`, wear increments.
     ///
     /// # Panics
@@ -161,6 +188,7 @@ impl Block {
         self.valid.clear();
         self.write_ptr = 0;
         self.erase_count += 1;
+        self.trimmed = 0;
         self.last_modified_ns = now;
     }
 
@@ -271,6 +299,39 @@ mod tests {
         b.invalidate(3, 0);
         let v: Vec<u32> = b.valid_pages().collect();
         assert_eq!(v, vec![0, 2]);
+    }
+
+    #[test]
+    fn deallocate_is_an_attributed_invalidation() {
+        let mut b = Block::new(4);
+        for _ in 0..3 {
+            b.program_next(0);
+        }
+        b.invalidate(0, 1); // overwrite garbage
+        b.deallocate(1, 2); // trim garbage
+        assert_eq!(b.page_state(1), PageState::Invalid);
+        assert_eq!(b.invalid_count(), 2);
+        assert_eq!(b.trimmed_count(), 1);
+        assert!(b.trimmed_count() <= b.invalid_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalidate page")]
+    fn deallocate_enforces_the_state_machine() {
+        let mut b = Block::new(2);
+        b.deallocate(0, 0); // free page: same panic as invalidate
+    }
+
+    #[test]
+    fn erase_resets_the_trimmed_counter() {
+        let mut b = Block::new(2);
+        b.program_next(0);
+        b.program_next(0);
+        b.deallocate(0, 1);
+        b.invalidate(1, 1);
+        assert_eq!(b.trimmed_count(), 1);
+        b.erase(2);
+        assert_eq!(b.trimmed_count(), 0);
     }
 
     #[test]

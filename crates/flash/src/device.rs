@@ -144,6 +144,18 @@ impl FlashDevice {
         self.blocks[b as usize].invalidate(self.geometry.page_of(ppn), now);
     }
 
+    /// Mark `ppn` invalid because the host trimmed its last logical
+    /// reference. Same metadata-only state change as
+    /// [`FlashDevice::invalidate`], but the invalidation is *attributed*:
+    /// the block's [`Block::trimmed_count`] and the device-wide
+    /// [`DeviceStats::trimmed_pages`] counter both advance, so victim
+    /// scoring and reports can tell trim garbage from overwrite garbage.
+    pub fn deallocate(&mut self, ppn: Ppn, now: Nanos) {
+        let b = self.geometry.block_of(ppn);
+        self.blocks[b as usize].deallocate(self.geometry.page_of(ppn), now);
+        self.stats.trimmed_pages += 1;
+    }
+
     /// Erase block `block`, ready no earlier than `ready_at`.
     ///
     /// # Panics
@@ -270,6 +282,24 @@ mod tests {
         d.invalidate(ppn, w.end);
         let r = d.read(ppn, w.end); // GC may still need the cells
         assert!(r.end > w.end);
+    }
+
+    #[test]
+    fn deallocate_attributes_trim_garbage() {
+        let mut d = dev();
+        let (w, p0) = d.program_next(0, 0);
+        let (_, p1) = d.program_next(0, 0);
+        d.deallocate(p0, w.end);
+        d.invalidate(p1, w.end);
+        assert_eq!(d.page_state(p0), PageState::Invalid);
+        assert_eq!(d.block(0).invalid_count(), 2);
+        assert_eq!(d.block(0).trimmed_count(), 1);
+        assert_eq!(d.stats().trimmed_pages, 1);
+        // Erase clears the per-block attribution; the device total persists.
+        let e = d.erase(0, w.end);
+        assert!(e.end > e.start);
+        assert_eq!(d.block(0).trimmed_count(), 0);
+        assert_eq!(d.stats().trimmed_pages, 1);
     }
 
     #[test]

@@ -11,6 +11,9 @@ pub struct DeviceStats {
     pub programs: u64,
     /// Block erases issued.
     pub erases: u64,
+    /// Pages invalidated by host trim (deallocations; metadata-only, so
+    /// they contribute no busy time — see `FlashDevice::deallocate`).
+    pub trimmed_pages: u64,
     /// Total die-busy time consumed by reads.
     pub read_busy_ns: Nanos,
     /// Total die-busy time consumed by programs.
@@ -41,10 +44,12 @@ mod tests {
             reads: 2,
             programs: 3,
             erases: 1,
+            trimmed_pages: 4,
             read_busy_ns: 24_000,
             program_busy_ns: 48_000,
             erase_busy_ns: 1_500_000,
         };
+        // Trims are metadata-only: they count as neither ops nor busy time.
         assert_eq!(s.total_ops(), 6);
         assert_eq!(s.total_busy_ns(), 1_572_000);
     }

@@ -62,6 +62,11 @@ pub struct GcStats {
     /// Pages moved cold → hot because their refcount fell to the threshold
     /// or below.
     pub demotions: u64,
+    /// Trim-invalidated pages reclaimed by victim erases. Each such page is
+    /// a migration GC never had to perform: had the host not trimmed it,
+    /// the page would still be valid at collection time and would have been
+    /// copied out (counted in `pages_migrated`) before the erase.
+    pub trim_reclaimed_pages: u64,
     /// Total simulated time spent inside GC rounds.
     pub busy_ns: Nanos,
 }

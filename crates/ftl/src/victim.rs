@@ -12,7 +12,11 @@
 //!
 //! Policies are pure over a candidate snapshot, so the same policy objects
 //! drive any scheme; determinism comes from seeded RNG and stable
-//! tie-breaking (lowest erase count, then lowest block id).
+//! tie-breaking (most trimmed pages, then lowest erase count, then lowest
+//! block id). The trimmed-page tie-break makes greedy-family policies
+//! trim-aware: among equally-invalid blocks, prefer the one whose garbage
+//! is host-deallocated (stable) over one that merely got overwritten and
+//! may keep accumulating invalid pages if deferred.
 
 use cagc_flash::BlockId;
 use cagc_sim::time::Nanos;
@@ -27,6 +31,12 @@ pub struct VictimCandidate {
     pub valid: u32,
     /// Invalid pages (this is what erasing reclaims beyond free ones).
     pub invalid: u32,
+    /// Invalid pages whose invalidation came from a host trim (always
+    /// ≤ `invalid`). Trim garbage is *stable*: a trimmed page can never
+    /// turn valid again, whereas an overwrite-hot block keeps gaining
+    /// invalid pages if collection is deferred — so among equally-invalid
+    /// blocks, the one with more trimmed pages is the better victim.
+    pub trimmed: u32,
     /// Pages per block (for utilization).
     pub pages: u32,
     /// Times the block has been erased.
@@ -115,8 +125,13 @@ impl VictimSelector {
             }
             VictimKind::Greedy => candidates
                 .iter()
-                // max invalid; ties: least-worn, then lowest id (stable).
-                .min_by_key(|c| (u32::MAX - c.invalid, c.erase_count, c.block))
+                // max invalid; ties: most trim garbage (stable — deferring
+                // a trim-heavy block gains nothing, while an overwrite-hot
+                // block grows more invalid pages by waiting), then
+                // least-worn, then lowest id (stable).
+                .min_by_key(|c| {
+                    (u32::MAX - c.invalid, u32::MAX - c.trimmed, c.erase_count, c.block)
+                })
                 .map(|c| c.block),
             VictimKind::CostBenefit => candidates
                 .iter()
@@ -136,7 +151,9 @@ impl VictimSelector {
                 let d = VictimKind::D_CHOICES.min(candidates.len());
                 (0..d)
                     .map(|_| &candidates[self.rng.gen_range_usize(0..candidates.len())])
-                    .min_by_key(|c| (u32::MAX - c.invalid, c.erase_count, c.block))
+                    .min_by_key(|c| {
+                        (u32::MAX - c.invalid, u32::MAX - c.trimmed, c.erase_count, c.block)
+                    })
                     .map(|c| c.block)
             }
         }
@@ -160,7 +177,15 @@ mod tests {
     use super::*;
 
     fn cand(block: BlockId, valid: u32, invalid: u32, erases: u32, last: Nanos) -> VictimCandidate {
-        VictimCandidate { block, valid, invalid, pages: 64, erase_count: erases, last_modified: last }
+        VictimCandidate {
+            block,
+            valid,
+            invalid,
+            trimmed: 0,
+            pages: 64,
+            erase_count: erases,
+            last_modified: last,
+        }
     }
 
     #[test]
@@ -221,6 +246,25 @@ mod tests {
         let mut s = VictimSelector::new(VictimKind::Greedy, 0);
         let cands = [cand(5, 10, 20, 7, 0), cand(3, 10, 20, 2, 0), cand(4, 10, 20, 2, 0)];
         assert_eq!(s.select(&cands, 0), Some(3)); // least worn, lowest id
+    }
+
+    #[test]
+    fn greedy_prefers_trim_garbage_among_equal_invalid() {
+        let mut s = VictimSelector::new(VictimKind::Greedy, 0);
+        // Same invalid count everywhere; block 7's garbage is mostly trimmed
+        // pages, which can never revert to valid — collect it first.
+        let trim_heavy = VictimCandidate { trimmed: 18, ..cand(7, 10, 20, 9, 0) };
+        let cands = [cand(2, 10, 20, 0, 0), trim_heavy, cand(4, 10, 20, 0, 0)];
+        assert_eq!(s.select(&cands, 0), Some(7));
+    }
+
+    #[test]
+    fn greedy_still_ranks_invalid_above_trimmed() {
+        let mut s = VictimSelector::new(VictimKind::Greedy, 0);
+        // More reclaimable pages beats better-attributed garbage.
+        let trim_heavy = VictimCandidate { trimmed: 20, ..cand(1, 40, 20, 0, 0) };
+        let cands = [cand(0, 30, 30, 0, 0), trim_heavy];
+        assert_eq!(s.select(&cands, 0), Some(0));
     }
 
     #[test]

@@ -52,6 +52,51 @@ pub fn scale_rate(t: &Trace, factor: f64) -> Trace {
     Trace::new(format!("{}x{factor}", t.name), t.logical_pages, requests)
 }
 
+/// Derive a trim-intensified variant of a trace: each write request is,
+/// with probability `trim_fraction`, followed by a trim of the same extent
+/// `delay_requests` arrivals later (at that later request's timestamp, so
+/// time-ordering is preserved without inventing a clock). This models a
+/// filesystem issuing discards for freed space some time after the data
+/// stopped mattering — the knob behind Frankie-style trim/overprovisioning
+/// sweeps on workloads whose generator has no trim stream of its own.
+///
+/// Selection is seeded and deterministic; `trim_fraction` of 0 returns an
+/// identical-requests copy.
+///
+/// # Panics
+/// Panics unless `trim_fraction` is within `[0, 1]`.
+pub fn inject_trims(
+    t: &Trace,
+    trim_fraction: f64,
+    delay_requests: usize,
+    seed: u64,
+) -> Trace {
+    assert!(
+        (0.0..=1.0).contains(&trim_fraction),
+        "trim_fraction {trim_fraction} outside [0, 1]"
+    );
+    let mut rng = cagc_sim::SimRng::seed_from_u64(seed ^ 0x7219_6D5F);
+    let mut requests = t.requests.clone();
+    let last_at = t.requests.last().map(|r| r.at_ns).unwrap_or(0);
+    for (i, r) in t.requests.iter().enumerate() {
+        if r.kind != crate::trace::OpKind::Write || !rng.gen_bool(trim_fraction) {
+            continue;
+        }
+        let at = t
+            .requests
+            .get(i + delay_requests.max(1))
+            .map(|later| later.at_ns)
+            .unwrap_or(last_at);
+        requests.push(Request::trim(at, r.lpn, r.pages));
+    }
+    requests.sort_by_key(|r| r.at_ns);
+    Trace::new(
+        format!("{}~trim{trim_fraction}", t.name),
+        t.logical_pages,
+        requests,
+    )
+}
+
 /// Keep only the first `n` requests.
 pub fn truncate(t: &Trace, n: usize) -> Trace {
     Trace::new(
@@ -141,6 +186,49 @@ mod tests {
         assert_eq!(t.len(), 50);
         assert_eq!(t.requests[..], a.requests[..50]);
         assert_eq!(truncate(&a, 10_000).len(), a.len());
+    }
+
+    #[test]
+    fn inject_trims_adds_deterministic_trims() {
+        // Start from a trim-free trace so every trim in the result is ours.
+        let a = SynthConfig {
+            requests: 200,
+            logical_pages: 1_000,
+            prefill_fraction: 0.0,
+            trim_ratio: 0.0,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let writes = a.requests.iter().filter(|r| r.kind == OpKind::Write).count();
+        let t1 = inject_trims(&a, 0.5, 8, 42);
+        let t2 = inject_trims(&a, 0.5, 8, 42);
+        assert_eq!(t1.requests, t2.requests, "same seed, same trims");
+        t1.validate().unwrap();
+        let trims = t1.requests.iter().filter(|r| r.kind == OpKind::Trim).count();
+        assert!(trims > 0, "a 50% fraction must add trims");
+        assert!(trims <= writes);
+        assert_eq!(t1.len(), a.len() + trims, "originals are all preserved");
+        // Every injected trim covers the extent of some earlier write.
+        for r in t1.requests.iter().filter(|r| r.kind == OpKind::Trim) {
+            assert!(a
+                .requests
+                .iter()
+                .any(|w| w.kind == OpKind::Write && w.lpn == r.lpn && w.pages == r.pages));
+        }
+    }
+
+    #[test]
+    fn inject_trims_zero_fraction_is_identity() {
+        let a = small(6);
+        let t = inject_trims(&a, 0.0, 4, 1);
+        assert_eq!(t.requests, a.requests);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn inject_trims_rejects_bad_fraction() {
+        inject_trims(&small(1), 1.5, 4, 0);
     }
 
     #[test]

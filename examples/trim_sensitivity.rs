@@ -1,0 +1,94 @@
+//! Trim sensitivity study: how much write amplification and erase traffic
+//! do trim (deallocate) hints save, as a function of trim intensity?
+//!
+//! A Web-vm-like workload is trim-intensified with `inject_trims` at
+//! several fractions; each point is replayed twice on the same device —
+//! honoring the hints (`honor_trim = true`, the default) and ignoring
+//! them. The gap is the Frankie-style dynamic-overprovisioning effect:
+//! every honored trim turns a would-be valid page into free-to-reclaim
+//! garbage before GC ever sees it. See docs/TRIM.md for the data path.
+//!
+//! ```bash
+//! cargo run --release --example trim_sensitivity            # full curve
+//! cargo run --release --example trim_sensitivity -- --smoke # CI-sized
+//! ```
+
+use cagc::flash::UllConfig;
+use cagc::metrics::{reduction_pct, Table};
+use cagc::prelude::*;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (flash, requests, fractions): (UllConfig, usize, &[f64]) = if smoke {
+        (UllConfig::tiny_for_tests(), 8_000, &[0.0, 0.2])
+    } else {
+        (UllConfig::scaled_gb(1), 60_000, &[0.0, 0.05, 0.10, 0.20, 0.35])
+    };
+    let footprint = (flash.logical_pages() as f64 * 0.90) as u64;
+    let base = FiuWorkload::WebVm.synth_config(footprint, requests, 11).generate();
+
+    println!("== Trim sensitivity: WA and erases, honoring vs ignoring trims ==\n");
+
+    let mut t = Table::new(vec![
+        "Trim frac", "Scheme", "Honored", "Blocks erased", "Pages migrated",
+        "Trim-reclaimed", "WAF",
+    ]);
+    let mut gaps = Vec::new();
+    for &frac in fractions {
+        let trace = inject_trims(&base, frac, 6, 11);
+        let mut cells = Vec::new();
+        for scheme in [Scheme::Baseline, Scheme::Cagc] {
+            for honor in [true, false] {
+                let mut cfg = SsdConfig::paper(flash, scheme);
+                cfg.honor_trim = honor;
+                cells.push((cfg, &trace));
+            }
+        }
+        let reports = run_cells(&cells, 0);
+        for (i, r) in reports.iter().enumerate() {
+            let honor = i % 2 == 0;
+            t.row(vec![
+                format!("{:.0}%", frac * 100.0),
+                r.scheme.clone(),
+                if honor { "yes" } else { "no" }.to_string(),
+                r.gc.blocks_erased.to_string(),
+                r.gc.pages_migrated.to_string(),
+                r.gc.trim_reclaimed_pages.to_string(),
+                format!("{:.3}", r.waf()),
+            ]);
+        }
+        // Baseline honoring (index 0) vs baseline blind (index 1).
+        gaps.push((frac, reports[0].clone(), reports[1].clone()));
+    }
+    println!("{}", t.render());
+
+    println!("Honoring trims vs ignoring them (Baseline):");
+    for (frac, honoring, blind) in &gaps {
+        println!(
+            "  trim {:>3.0}%  erases -{:.1}%  migrations -{:.1}%  WAF {:.3} -> {:.3}",
+            frac * 100.0,
+            reduction_pct(blind.gc.blocks_erased as f64, honoring.gc.blocks_erased as f64),
+            reduction_pct(blind.gc.pages_migrated as f64, honoring.gc.pages_migrated as f64),
+            blind.waf(),
+            honoring.waf(),
+        );
+    }
+    println!(
+        "\nThe trim stream behaves as dynamic overprovisioning (Frankie et al.):\n\
+         deallocated pages are reclaimed for free at their block's erase instead\n\
+         of being migrated, so erase and migration traffic fall — and the saving\n\
+         grows with trim intensity. (The gap at 0% injected comes from the\n\
+         workload's native trim stream — Web-vm-like traces already carry\n\
+         a small deallocate ratio.)"
+    );
+    if smoke {
+        // CI gate: the directional claim must hold at the smoke point too.
+        let (_, honoring, blind) = gaps.last().expect("smoke sweeps a nonzero fraction");
+        assert!(
+            honoring.gc.pages_migrated < blind.gc.pages_migrated
+                && honoring.gc.blocks_erased < blind.gc.blocks_erased,
+            "honoring trims must reduce migrations and erases"
+        );
+        println!("\nsmoke: OK (honoring < ignoring on both axes)");
+    }
+}

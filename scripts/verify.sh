@@ -13,7 +13,13 @@ cargo test -q --offline --workspace
 echo "== clippy (offline, deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== docs (offline, no deps) =="
+cargo doc --no-deps --offline
+
 echo "== smoke: regenerate Fig. 9 =="
 cargo run --release --offline -p cagc-bench --bin repro -- fig9
+
+echo "== smoke: trim sensitivity (asserts honoring < ignoring) =="
+cargo run --release --offline --example trim_sensitivity -- --smoke
 
 echo "verify: OK"

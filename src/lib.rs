@@ -61,6 +61,7 @@ pub mod prelude {
     pub use cagc_ftl::{VictimKind, Region};
     pub use cagc_metrics::{Cdf, Histogram};
     pub use cagc_workloads::{
-        FileWorkloadBuilder, FiuWorkload, OpKind, Request, SynthConfig, Trace, TraceProfile,
+        inject_trims, FileWorkloadBuilder, FiuWorkload, OpKind, Request, SynthConfig, Trace,
+        TraceProfile,
     };
 }

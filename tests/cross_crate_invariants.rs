@@ -132,4 +132,93 @@ harness_proptest! {
             );
         }
     }
+
+    /// Honored trims are forever: after any sequence of writes, trims and
+    /// GC passes, a logical page whose last host operation was a trim is
+    /// unmapped — no GC migration ever resurrects it — and every other
+    /// page still returns its last written content (GC migrated only live
+    /// data).
+    #[test]
+    fn trimmed_pages_are_never_migrated_by_gc(
+        seed in 0u64..1_000,
+        trim_fraction in 0.05f64..0.6,
+        dedup in 0.0f64..0.9,
+    ) {
+        let base = tiny_trace(seed, 4_000, dedup, 0.85, 0.7);
+        let trace = inject_trims(&base, trim_fraction, 6, seed);
+        // The host-visible truth: last write content per LPN, or None if a
+        // trim came after it.
+        let mut expected: std::collections::HashMap<u64, Option<ContentId>> =
+            std::collections::HashMap::new();
+        for r in &trace.requests {
+            match r.kind {
+                OpKind::Write => {
+                    for (i, lpn) in r.lpns().enumerate() {
+                        expected.insert(lpn, Some(r.contents[i]));
+                    }
+                }
+                OpKind::Trim => {
+                    for lpn in r.lpns() {
+                        expected.insert(lpn, None);
+                    }
+                }
+                OpKind::Read => {}
+            }
+        }
+        for scheme in Scheme::EXTENDED {
+            let mut ssd = Ssd::new(SsdConfig::tiny(scheme));
+            let report = ssd.replay(&trace);
+            ssd.audit().map_err(|e| {
+                TestCaseError::fail(format!("{}: {e}", scheme.name()))
+            })?;
+            prop_assert!(report.gc.invocations > 0 || report.trims > 0);
+            for (&lpn, &want) in &expected {
+                prop_assert_eq!(
+                    ssd.stored_content(lpn), want,
+                    "{}: lpn {} after {} GC rounds", scheme.name(), lpn,
+                    report.gc.invocations
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance-criteria direction: on the same seeded trim-heavy
+/// workload, a device that honors trims migrates fewer pages and erases
+/// fewer blocks than one that ignores them — trims act as dynamic
+/// overprovisioning (Frankie et al.).
+#[test]
+fn honoring_trims_reduces_migrations_and_erases() {
+    let base = tiny_trace(97, 9_000, 0.4, 0.9, 0.8);
+    let trace = inject_trims(&base, 0.35, 6, 97);
+    for scheme in [Scheme::Baseline, Scheme::Cagc] {
+        let honoring = run_cell(SsdConfig::tiny(scheme), &trace);
+        let mut blind_cfg = SsdConfig::tiny(scheme);
+        blind_cfg.honor_trim = false;
+        let blind = run_cell(blind_cfg, &trace);
+        assert!(honoring.gc.invocations > 0, "{}: GC never ran", scheme.name());
+        assert!(
+            honoring.gc.pages_migrated < blind.gc.pages_migrated,
+            "{}: honoring migrated {} vs blind {}",
+            scheme.name(),
+            honoring.gc.pages_migrated,
+            blind.gc.pages_migrated
+        );
+        assert!(
+            honoring.gc.blocks_erased < blind.gc.blocks_erased,
+            "{}: honoring erased {} vs blind {}",
+            scheme.name(),
+            honoring.gc.blocks_erased,
+            blind.gc.blocks_erased
+        );
+        assert!(
+            honoring.waf() < blind.waf(),
+            "{}: honoring WAF {} vs blind {}",
+            scheme.name(),
+            honoring.waf(),
+            blind.waf()
+        );
+        assert!(honoring.trim_invalidated_pages > 0);
+        assert_eq!(blind.trim_invalidated_pages, 0);
+    }
 }
