@@ -11,6 +11,7 @@ fn candidates(n: u32) -> Vec<VictimCandidate> {
             valid: b.wrapping_mul(31) % 65,
             invalid: 64 - b.wrapping_mul(31) % 65,
             trimmed: b.wrapping_mul(17) % (64 - b.wrapping_mul(31) % 65 + 1),
+            stranded: 0,
             pages: 64,
             erase_count: b % 13,
             last_modified: (b as u64).wrapping_mul(7_919_000),

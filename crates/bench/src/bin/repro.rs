@@ -5,7 +5,7 @@
 //!
 //! CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13
 //!      ablate-placement ablate-overlap ablate-threshold ablate-watermark
-//!      compare-inline sweep-utilization sweep-trim wear
+//!      compare-inline sweep-utilization sweep-trim sweep-faults wear
 //!      all        (tables + every figure)
 //!      ablations  (every ablation and extension study)
 //! ```
@@ -24,7 +24,7 @@ fn usage() -> ! {
         "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N] CMD...\n\
          CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13\n\
          \x20    ablate-placement ablate-overlap ablate-threshold ablate-watermark ablate-idle-gc\n\
-         \x20    compare-inline sweep-utilization sweep-trim wear\n\
+         \x20    compare-inline sweep-utilization sweep-trim sweep-faults wear\n\
          \x20    all | ablations"
     );
     std::process::exit(2);
@@ -78,7 +78,7 @@ fn main() {
                     .map(String::from),
             ),
             "ablations" => expanded.extend(
-                ["ablate-placement", "ablate-overlap", "ablate-threshold", "ablate-watermark", "ablate-idle-gc", "compare-inline", "sweep-utilization", "sweep-trim", "wear"]
+                ["ablate-placement", "ablate-overlap", "ablate-threshold", "ablate-watermark", "ablate-idle-gc", "compare-inline", "sweep-utilization", "sweep-trim", "sweep-faults", "wear"]
                     .map(String::from),
             ),
             _ => expanded.push(c),
@@ -126,6 +126,7 @@ fn main() {
             "compare-inline" => exp::compare_inline(&scale),
             "sweep-utilization" => exp::sweep_utilization(&scale),
             "sweep-trim" => exp::sweep_trim(&scale),
+            "sweep-faults" => exp::sweep_faults(&scale),
             "wear" => exp::wear_study(&scale),
             other => {
                 eprintln!("unknown command `{other}`");

@@ -1,6 +1,6 @@
 //! Scheme selection and full simulator configuration.
 
-use cagc_flash::UllConfig;
+use cagc_flash::{FaultConfig, UllConfig};
 use cagc_ftl::VictimKind;
 use cagc_sim::time::{us, Nanos};
 
@@ -105,6 +105,27 @@ pub struct SsdConfig {
     /// Per-page pre-hash cost for [`Scheme::InlineSampled`] (a cheap CRC
     /// computed by the controller; CAFTL-style).
     pub prehash_ns: Nanos,
+    /// Fault-injection plan for the flash device. The default
+    /// ([`FaultConfig::none`]) injects nothing and draws nothing from the
+    /// RNG, so fault-free runs stay bit-identical to builds without the
+    /// fault subsystem.
+    pub faults: FaultConfig,
+    /// Program-failure handling: how many fresh frontier blocks to try
+    /// before falling back to a forced program on the last one.
+    pub max_program_retries: u32,
+    /// Simulated controller time charged per program retry (frontier
+    /// close + re-allocate + re-issue).
+    pub program_retry_backoff_ns: Nanos,
+    /// Read ECC handling: how many device re-reads to attempt before
+    /// invoking the heroic soft-decode path.
+    pub max_read_retries: u32,
+    /// Simulated cost of the heroic ECC soft-decode invoked when re-reads
+    /// keep failing (the data is always recovered; only time is lost).
+    pub ecc_decode_ns: Nanos,
+    /// Read-only degradation floor: when bad-block retirement shrinks the
+    /// usable pool to `gc_reserve_blocks + read_only_floor_blocks` or
+    /// fewer, the device stops accepting writes and trims.
+    pub read_only_floor_blocks: u32,
 }
 
 impl SsdConfig {
@@ -148,6 +169,12 @@ impl SsdConfig {
             idle_gc: false,
             idle_threshold_ns: us(500),
             prehash_ns: us(2),
+            faults: FaultConfig::none(),
+            max_program_retries: 4,
+            program_retry_backoff_ns: us(20),
+            max_read_retries: 2,
+            ecc_decode_ns: us(5),
+            read_only_floor_blocks: 4,
         }
     }
 
@@ -171,6 +198,7 @@ impl SsdConfig {
         if self.scheme == Scheme::Cagc && self.cold_threshold == 0 {
             return Err("cold_threshold 0 would send every page cold".into());
         }
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -222,6 +250,22 @@ mod tests {
     fn validation_catches_oversized_reserve() {
         let mut c = SsdConfig::tiny(Scheme::Baseline);
         c.gc_reserve_blocks = c.flash.geometry().total_blocks();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_config_has_no_faults() {
+        let c = SsdConfig::tiny(Scheme::Cagc);
+        assert!(!c.faults.is_active(), "paper config is fault-free");
+        assert!(c.faults.crash_at_op.is_none());
+        assert!(c.max_program_retries >= 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_fault_probabilities() {
+        let mut c = SsdConfig::tiny(Scheme::Baseline);
+        c.faults.program_fail_prob = 1.5;
         assert!(c.validate().is_err());
     }
 

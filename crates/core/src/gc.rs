@@ -18,12 +18,12 @@
 //! write path, so its GC never sees redundant pages).
 
 use cagc_dedup::Fingerprint;
-use cagc_flash::{BlockId, PageState, Ppn};
+use cagc_flash::{BlockId, FlashError, JournalOp, PageOob, PageState, Ppn};
 use cagc_ftl::{Region, VictimCandidate};
 use cagc_sim::time::Nanos;
 
 use crate::config::Scheme;
-use crate::ssd::Ssd;
+use crate::ssd::{fp_stamp, Ssd};
 
 impl Ssd {
     /// Run GC if the free-space watermark demands it. Returns when the
@@ -33,9 +33,9 @@ impl Ssd {
     /// die contention (reads/programs/erases reserved on the die timelines),
     /// which is exactly how GC hurts foreground I/O in a real SSD and the
     /// effect Figs. 11/12 measure.
-    pub(crate) fn maybe_gc(&mut self, now: Nanos) -> Nanos {
+    pub(crate) fn maybe_gc(&mut self, now: Nanos) -> Result<Nanos, FlashError> {
         if !self.trigger.should_start(self.alloc.free_fraction()) {
-            return now;
+            return Ok(now);
         }
         self.gc_stats.invocations += 1;
         // `cursor` is when the next victim's migration may start;
@@ -53,7 +53,7 @@ impl Ssd {
         {
             let Some(victim) = self.select_victim(cursor) else { break };
             let free_before = self.alloc.free_blocks();
-            let (migrated_done, erase_end) = self.collect_victim(victim, cursor);
+            let (migrated_done, erase_end) = self.collect_victim(victim, cursor)?;
             victims += 1;
             cursor = migrated_done;
             round_end = round_end.max(erase_end);
@@ -72,7 +72,7 @@ impl Ssd {
         }
         self.gc_stats.busy_ns += round_end.saturating_sub(now);
         self.gc_active_until = self.gc_active_until.max(round_end);
-        round_end
+        Ok(round_end)
     }
 
     /// Background GC inside an idle window (enabled by
@@ -81,22 +81,23 @@ impl Ssd {
     /// and free space sits below the high watermark, victims are collected
     /// on the *idle window's* clock — their die reservations largely drain
     /// before the new request arrives, so the foreground barely notices.
-    pub(crate) fn maybe_idle_gc(&mut self, arrival: Nanos) {
+    pub(crate) fn maybe_idle_gc(&mut self, arrival: Nanos) -> Result<(), FlashError> {
         if !self.cfg.idle_gc {
-            return;
+            return Ok(());
         }
         let idle_start = self.last_completion();
         let mut t = idle_start.saturating_add(self.cfg.idle_threshold_ns);
         if arrival <= t {
-            return; // not idle long enough
+            return Ok(()); // not idle long enough
         }
         while t < arrival && self.alloc.free_fraction() < self.cfg.gc_high {
             let before = self.alloc.free_blocks();
-            t = self.force_gc(t);
+            t = self.force_gc_inner(t)?;
             if self.alloc.free_blocks() <= before {
                 break; // nothing reclaimable
             }
         }
+        Ok(())
     }
 
     /// Collect one victim right now, regardless of the watermark. Returns
@@ -107,24 +108,36 @@ impl Ssd {
     /// scripted scenarios, tests and idle-time collection policies built
     /// on top of the simulator.
     pub fn force_gc(&mut self, now: Nanos) -> Nanos {
-        let Some(victim) = self.select_victim(now) else { return now };
+        self.force_gc_inner(now).unwrap_or(now)
+    }
+
+    /// [`Ssd::force_gc`] that propagates a mid-GC power loss instead of
+    /// absorbing it.
+    pub(crate) fn force_gc_inner(&mut self, now: Nanos) -> Result<Nanos, FlashError> {
+        let Some(victim) = self.select_victim(now) else { return Ok(now) };
         self.gc_stats.invocations += 1;
-        let (_, erase_end) = self.collect_victim(victim, now);
+        let (_, erase_end) = self.collect_victim(victim, now)?;
         self.gc_stats.busy_ns += erase_end.saturating_sub(now);
         self.gc_active_until = self.gc_active_until.max(erase_end);
-        erase_end
+        Ok(erase_end)
     }
 
     /// Snapshot candidates and ask the policy. Open frontiers, free blocks
-    /// and blocks with nothing invalid are never victims.
+    /// and blocks whose erase would reclaim nothing are never victims. The
+    /// reclaim gain counts stranded free pages — pages a program failure
+    /// (or recovery) left behind a closed write pointer — alongside the
+    /// invalid ones: without that, a block abandoned before accumulating
+    /// any garbage is invisible to GC and its free pages are lost until an
+    /// overwrite happens to land there, which under sustained fault
+    /// injection starves foreground allocation outright.
     fn select_victim(&mut self, now: Nanos) -> Option<BlockId> {
         let mut candidates = Vec::new();
         for b in 0..self.dev.block_count() {
-            if self.alloc.is_open(b) {
+            if self.alloc.is_open(b) || self.dev.is_retired(b) {
                 continue;
             }
             let blk = self.dev.block(b);
-            if blk.is_free() || blk.invalid_count() == 0 {
+            if blk.is_free() || blk.invalid_count() + blk.free_count() == 0 {
                 continue;
             }
             candidates.push(VictimCandidate {
@@ -132,6 +145,7 @@ impl Ssd {
                 valid: blk.valid_count(),
                 invalid: blk.invalid_count(),
                 trimmed: blk.trimmed_count(),
+                stranded: blk.free_count(),
                 pages: blk.pages(),
                 erase_count: blk.erase_count(),
                 last_modified: blk.last_modified(),
@@ -143,7 +157,7 @@ impl Ssd {
     /// Collect one victim. Returns `(migration_done, erase_end)`:
     /// the erase is issued at `migration_done` and the *next* victim may
     /// start migrating immediately while it runs.
-    fn collect_victim(&mut self, victim: BlockId, t: Nanos) -> (Nanos, Nanos) {
+    fn collect_victim(&mut self, victim: BlockId, t: Nanos) -> Result<(Nanos, Nanos), FlashError> {
         let geom = *self.dev.geometry();
         let valids: Vec<Ppn> = self
             .dev
@@ -154,36 +168,59 @@ impl Ssd {
 
         let done = match self.cfg.scheme {
             Scheme::Baseline | Scheme::InlineDedup | Scheme::InlineSampled => {
-                self.migrate_blind(&valids, t)
+                self.migrate_blind(&valids, t)?
             }
-            Scheme::Cagc => self.migrate_content_aware(victim, &valids, t),
+            Scheme::Cagc => self.migrate_content_aware(victim, &valids, t)?,
         };
         // Snapshot before the erase resets the block's trim attribution:
         // every trim-invalidated page reclaimed here is a migration avoided.
         self.gc_stats.trim_reclaimed_pages += self.dev.block(victim).trimmed_count() as u64;
-        let erase = self.dev.erase(victim, done);
-        self.alloc.release(victim);
-        self.gc_stats.blocks_erased += 1;
-        (done, erase.end)
+        let erase_end = match self.dev.erase(victim, done) {
+            Ok(r) => {
+                self.alloc.release(victim);
+                self.gc_stats.blocks_erased += 1;
+                r.end
+            }
+            Err(FlashError::EraseFailed { at, .. }) => {
+                // The device already moved the block to its bad-block
+                // table; mirror the retirement in the allocator so the
+                // block leaves the frontier/victim pool for good. Every
+                // valid page was migrated before the erase was issued, so
+                // no data is stranded — only capacity is lost.
+                self.alloc.retire(victim);
+                at
+            }
+            Err(FlashError::PowerLoss) => return Err(FlashError::PowerLoss),
+            Err(e) => panic!("GC erase of block {victim} failed: {e}"),
+        };
+        Ok((done, erase_end))
     }
 
     /// Blind migration: read + rewrite every valid page (Fig. 3).
-    fn migrate_blind(&mut self, valids: &[Ppn], t: Nanos) -> Nanos {
+    fn migrate_blind(&mut self, valids: &[Ppn], t: Nanos) -> Result<Nanos, FlashError> {
         let mut done = t;
         for &ppn in valids {
             self.gc_stats.pages_scanned += 1;
-            let r = self.dev.read(ppn, t);
-            let (end, _) = self.relocate_page(ppn, Region::Hot, r.end);
+            let read_end = self.read_flash(ppn, t)?;
+            // Inline schemes track migrated pages in the index; carry the
+            // fingerprint stamp so the relocated copy stays recoverable.
+            let stamp = self.index.fp_of_ppn(ppn).map(|fp| fp_stamp(&fp));
+            let (end, _) = self.relocate_page(ppn, Region::Hot, stamp, read_end)?;
             self.gc_stats.pages_migrated += 1;
             done = done.max(end);
         }
-        done
+        Ok(done)
     }
 
     /// Content-aware migration (Fig. 5): hash each valid page on the hash
     /// engine, probe the index, and either absorb (hit) or place by
     /// reference count (miss / stored copy).
-    fn migrate_content_aware(&mut self, victim: BlockId, valids: &[Ppn], t: Nanos) -> Nanos {
+    fn migrate_content_aware(
+        &mut self,
+        victim: BlockId,
+        valids: &[Ppn],
+        t: Nanos,
+    ) -> Result<Nanos, FlashError> {
         let mut done = t;
         let mut read_ready = t;
         for &ppn in valids {
@@ -193,11 +230,11 @@ impl Ssd {
                 continue;
             }
             self.gc_stats.pages_scanned += 1;
-            let r = self.dev.read(ppn, read_ready);
+            let read_end = self.read_flash(ppn, read_ready)?;
             // Fingerprint on the dedicated engine. With overlap enabled the
             // engine runs beside the dies; the ablation serializes the
             // pipeline by stalling the next read until the hash finishes.
-            let h = self.hash.hash_page(r.end);
+            let h = self.hash.hash_page(read_end);
             if !self.cfg.overlap_hash {
                 read_ready = h.end;
             }
@@ -210,14 +247,14 @@ impl Ssd {
                     // Redundant page: the content already has a stored copy
                     // elsewhere. Absorb all sharers — no flash write.
                     self.gc_stats.dedup_hits += 1;
-                    self.absorb_into(ppn, entry.ppn, &fp, decided)
+                    self.absorb_into(ppn, entry.ppn, &fp, decided)?
                 }
                 Some(entry) => {
                     // This page *is* the stored copy: migrate it, choosing
                     // the region by its current reference count.
                     let dest = self.region_for_refs(entry.refs);
                     let src = self.alloc.region_of(victim).unwrap_or(Region::Hot);
-                    let (end, _) = self.relocate_page(ppn, dest, decided);
+                    let (end, _) = self.relocate_page(ppn, dest, Some(fp_stamp(&fp)), decided)?;
                     self.gc_stats.pages_migrated += 1;
                     match (src, dest) {
                         (Region::Hot, Region::Cold) => self.gc_stats.promotions += 1,
@@ -232,7 +269,8 @@ impl Ssd {
                     let sharers = self.rmap.count(ppn) as u32;
                     debug_assert!(sharers >= 1, "valid page with no sharers");
                     let dest = self.region_for_refs(sharers);
-                    let (end, new_ppn) = self.relocate_page(ppn, dest, decided);
+                    let (end, new_ppn) =
+                        self.relocate_page(ppn, dest, Some(fp_stamp(&fp)), decided)?;
                     self.index.insert(fp, new_ppn, sharers);
                     self.gc_stats.pages_migrated += 1;
                     end
@@ -240,7 +278,7 @@ impl Ssd {
             };
             done = done.max(end);
         }
-        done
+        Ok(done)
     }
 
     /// Sec. III-C placement rule: refcount above the threshold ⇒ cold.
@@ -257,13 +295,24 @@ impl Ssd {
     /// without a write. May then *promote* the stored copy to the cold
     /// region if the merge pushed its refcount across the threshold
     /// (Fig. 5's "Ref == threshold?" branch). Returns the completion time.
-    fn absorb_into(&mut self, from: Ppn, to: Ppn, fp: &Fingerprint, now: Nanos) -> Nanos {
+    fn absorb_into(
+        &mut self,
+        from: Ppn,
+        to: Ppn,
+        fp: &Fingerprint,
+        now: Nanos,
+    ) -> Result<Nanos, FlashError> {
         let sharers = self.rmap.take(from);
         debug_assert!(!sharers.is_empty(), "absorbing a page with no sharers");
         let n = sharers.len() as u32;
         for &l in &sharers {
             self.map.set(l, to);
             self.rmap.add(to, l);
+            // Durable record *before* `from` is invalidated (and its block
+            // eventually erased) — this is the dedup-during-GC crash
+            // window recovery has to close: a crash between here and the
+            // victim erase must find every sharer already remapped.
+            self.journal(JournalOp::Remap { lpn: l, ppn: to })?;
         }
         let new_refs = self.index.add_refs(fp, n);
         self.dev.invalidate(from, now);
@@ -282,38 +331,42 @@ impl Ssd {
             && self.alloc.region_of(stored_block) == Some(Region::Hot)
             && !self.alloc.is_open(stored_block)
         {
-            let r = self.dev.read(to, now);
-            let (end, _) = self.relocate_page(to, Region::Cold, r.end);
+            let read_end = self.read_flash(to, now)?;
+            let (end, _) = self.relocate_page(to, Region::Cold, Some(fp_stamp(fp)), read_end)?;
             self.gc_stats.pages_migrated += 1;
             self.gc_stats.promotions += 1;
-            return end;
+            return Ok(end);
         }
-        now
+        Ok(now)
     }
 
     /// Move one valid page to the `dest` frontier: program a copy, remap
-    /// every sharer, carry index/content metadata, and invalidate the
-    /// source. Returns the program completion time and the new PPN.
-    fn relocate_page(&mut self, ppn: Ppn, dest: Region, ready: Nanos) -> (Nanos, Ppn) {
-        let block = self.alloc.alloc_page(dest, true).unwrap_or_else(|| {
-            panic!(
-                "GC allocation failed with {} free blocks — reserve {} exhausted",
-                self.alloc.free_blocks(),
-                self.alloc.gc_reserve()
-            )
-        });
-        let (w, new_ppn) = self.dev.program_next(block, ready);
+    /// every sharer (each remap journaled — the durable record a crash
+    /// before the source's erase recovers from), carry index/content
+    /// metadata, and invalidate the source. Returns the program completion
+    /// time and the new PPN.
+    fn relocate_page(
+        &mut self,
+        ppn: Ppn,
+        dest: Region,
+        fp_stamp: Option<u64>,
+        ready: Nanos,
+    ) -> Result<(Nanos, Ppn), FlashError> {
+        let (end, new_ppn) = self.program_region(dest, true, PageOob::gc(fp_stamp), ready)?;
+        // The program physically copied the cells: record the content
+        // before any later fallible step can tear this relocation.
+        self.content_of[new_ppn as usize] = self.content_of[ppn as usize];
         let sharers = self.rmap.take(ppn);
         debug_assert!(!sharers.is_empty(), "relocating an unreferenced page");
         for &l in &sharers {
             self.map.set(l, new_ppn);
             self.rmap.add(new_ppn, l);
+            self.journal(JournalOp::Remap { lpn: l, ppn: new_ppn })?;
         }
         if self.index.fp_of_ppn(ppn).is_some() {
             self.index.relocate(ppn, new_ppn);
         }
-        self.content_of[new_ppn as usize] = self.content_of[ppn as usize];
-        self.dev.invalidate(ppn, w.end);
-        (w.end, new_ppn)
+        self.dev.invalidate(ppn, end);
+        Ok((end, new_ppn))
     }
 }

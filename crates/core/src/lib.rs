@@ -30,10 +30,12 @@
 pub mod config;
 pub mod gc;
 pub mod parallel;
+pub mod recovery;
 pub mod report;
 pub mod ssd;
 
 pub use config::{Scheme, SsdConfig};
 pub use parallel::{run_cell, run_cells};
-pub use report::{LatencySummary, RunReport};
+pub use recovery::RecoveryReport;
+pub use report::{FaultReport, LatencySummary, RunReport};
 pub use ssd::Ssd;

@@ -6,6 +6,78 @@ use cagc_harness::{Json, ToJson};
 use cagc_metrics::{Cdf, Histogram};
 use cagc_sim::time::{fmt_duration, Nanos};
 
+use crate::recovery::RecoveryReport;
+
+/// Fault-injection and fault-handling counters for one run.
+///
+/// All-false/all-zero on fault-free runs — [`FaultReport::is_quiet`] —
+/// in which case [`RunReport`] omits it from both the JSON and the human
+/// rendering, keeping fault-free output byte-identical to output from
+/// before the fault subsystem existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Whether a fault plan was configured (even if nothing fired).
+    pub active: bool,
+    /// Whether the device is down at a power-loss point right now.
+    pub crashed: bool,
+    /// Whether bad-block retirement degraded the device to read-only.
+    pub read_only: bool,
+    /// Injected program failures (device count).
+    pub program_failures: u64,
+    /// Injected erase failures (device count; each retires a block).
+    pub erase_failures: u64,
+    /// Injected read ECC errors (device count, per attempt).
+    pub read_ecc_errors: u64,
+    /// Blocks moved to the bad-block table.
+    pub blocks_retired: u64,
+    /// Mapping-delta journal records appended.
+    pub journal_appends: u64,
+    /// Program retries the FTL issued on fresh blocks.
+    pub program_retries: u64,
+    /// Last-resort forced programs after the retry budget ran out.
+    pub forced_programs: u64,
+    /// Re-reads the FTL issued after ECC errors.
+    pub read_retries: u64,
+    /// Heroic soft-decodes after the re-read budget ran out (data always
+    /// recovered; only time is lost).
+    pub ecc_decodes: u64,
+    /// Writes refused in read-only degradation.
+    pub writes_rejected: u64,
+    /// Trims refused in read-only degradation.
+    pub trims_rejected: u64,
+    /// Completed power-loss recovery passes.
+    pub recoveries: u64,
+}
+
+impl FaultReport {
+    /// True when nothing fault-related was configured or happened.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultReport::default()
+    }
+}
+
+impl ToJson for FaultReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("active", Json::Bool(self.active)),
+            ("crashed", Json::Bool(self.crashed)),
+            ("read_only", Json::Bool(self.read_only)),
+            ("program_failures", Json::U64(self.program_failures)),
+            ("erase_failures", Json::U64(self.erase_failures)),
+            ("read_ecc_errors", Json::U64(self.read_ecc_errors)),
+            ("blocks_retired", Json::U64(self.blocks_retired)),
+            ("journal_appends", Json::U64(self.journal_appends)),
+            ("program_retries", Json::U64(self.program_retries)),
+            ("forced_programs", Json::U64(self.forced_programs)),
+            ("read_retries", Json::U64(self.read_retries)),
+            ("ecc_decodes", Json::U64(self.ecc_decodes)),
+            ("writes_rejected", Json::U64(self.writes_rejected)),
+            ("trims_rejected", Json::U64(self.trims_rejected)),
+            ("recoveries", Json::U64(self.recoveries)),
+        ])
+    }
+}
+
 /// Latency distribution summary for one request class.
 #[derive(Debug, Clone)]
 pub struct LatencySummary {
@@ -131,6 +203,11 @@ pub struct RunReport {
     /// Die utilization over the run: (min, max, mean) busy fraction across
     /// dies — how well the workload + FTL exploited device parallelism.
     pub die_utilization: (f64, f64, f64),
+    /// Fault-injection counters ([`FaultReport::is_quiet`] on fault-free
+    /// runs, and then omitted from JSON and rendering).
+    pub faults: FaultReport,
+    /// The most recent power-loss recovery pass, if one ran.
+    pub recovery: Option<RecoveryReport>,
     /// When the last request completed.
     pub end_ns: Nanos,
 }
@@ -168,7 +245,7 @@ impl RunReport {
                 format!("ref1 {:.1}% / ref2 {:.1}% / ref3 {:.1}% / ref>3 {:.1}%", f[0], f[1], f[2], f[3])
             }
         };
-        format!(
+        let mut out = format!(
             "{} on {} (victim: {})\n\
              \x20 latency  : {}\n\
              \x20 reads    : {}\n\
@@ -212,7 +289,41 @@ impl RunReport {
             self.die_utilization.0 * 100.0,
             self.die_utilization.1 * 100.0,
             self.die_utilization.2 * 100.0,
-        )
+        );
+        if !self.faults.is_quiet() || self.recovery.is_some() {
+            let f = &self.faults;
+            out.push_str(&format!(
+                "\n\x20 faults   : crashed={} read_only={}, {} program fails ({} retries, {} forced), \
+                 {} erase fails ({} blocks retired), {} ECC errors ({} re-reads, {} decodes), \
+                 {} writes + {} trims rejected, {} journal records",
+                f.crashed,
+                f.read_only,
+                f.program_failures,
+                f.program_retries,
+                f.forced_programs,
+                f.erase_failures,
+                f.blocks_retired,
+                f.read_ecc_errors,
+                f.read_retries,
+                f.ecc_decodes,
+                f.writes_rejected,
+                f.trims_rejected,
+                f.journal_appends,
+            ));
+            if let Some(r) = &self.recovery {
+                out.push_str(&format!(
+                    "\n\x20 recovery : {} pages scanned, {} journal entries, {} mappings, \
+                     {} fingerprints, {} duplicate copies merged, cost {}",
+                    r.pages_scanned,
+                    r.journal_entries,
+                    r.mappings_recovered,
+                    r.fingerprints_rebuilt,
+                    r.duplicate_copies_merged,
+                    fmt_duration(r.recovery_ns),
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -224,7 +335,7 @@ impl ToJson for RunReport {
     // GcStats and IndexStats live in foreign crates, so their fields are
     // inlined here rather than given their own ToJson impls (orphan rule).
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&'static str, Json)> = Vec::from([
             ("scheme", Json::Str(self.scheme.clone())),
             ("victim", Json::Str(self.victim.clone())),
             ("workload", Json::Str(self.workload.clone())),
@@ -289,7 +400,16 @@ impl ToJson for RunReport {
             ),
             ("end_ns", Json::U64(self.end_ns)),
             ("waf", Json::F64(self.waf())),
-        ])
+        ]);
+        // Only fault-touched runs carry the fault section, so fault-free
+        // JSON stays byte-identical to pre-fault-subsystem output.
+        if !self.faults.is_quiet() || self.recovery.is_some() {
+            fields.push(("faults", self.faults.to_json()));
+            if let Some(r) = &self.recovery {
+                fields.push(("recovery", r.to_json()));
+            }
+        }
+        Json::obj(fields)
     }
 }
 
@@ -339,9 +459,18 @@ mod tests {
             wear: (0, 0, 0.0),
             wear_stddev: 0.0,
             die_utilization: (0.0, 0.0, 0.0),
+            faults: FaultReport::default(),
+            recovery: None,
             end_ns: 0,
         };
         assert_eq!(r.waf(), 0.0);
         assert!(r.render().contains("Baseline"));
+        // Quiet faults stay out of both renderings entirely.
+        assert!(!r.render().contains("faults"));
+        assert!(!r.to_json().render().contains("faults"));
+        let mut noisy = r.clone();
+        noisy.faults.program_failures = 1;
+        assert!(noisy.render().contains("faults"));
+        assert!(noisy.to_json().render().contains("\"faults\""));
     }
 }

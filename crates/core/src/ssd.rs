@@ -20,7 +20,7 @@
 //! and the trace replay loop.
 
 use cagc_dedup::{ContentId, Fingerprint, FingerprintIndex, HashEngine};
-use cagc_flash::{FlashDevice, Ppn};
+use cagc_flash::{BlockId, FlashDevice, FlashError, JournalOp, PageOob, Ppn};
 use cagc_ftl::{
     Allocator, GcStats, GcTrigger, Lpn, MappingTable, Region, ReverseMap, VictimSelector,
 };
@@ -29,10 +29,19 @@ use cagc_sim::time::Nanos;
 use cagc_workloads::{OpKind, Request, Trace};
 
 use crate::config::{Scheme, SsdConfig};
-use crate::report::{LatencySummary, RunReport};
+use crate::recovery::RecoveryReport;
+use crate::report::{FaultReport, LatencySummary, RunReport};
 
 /// Sentinel for "no content recorded" in the per-PPN content table.
-const NO_CONTENT: u64 = u64::MAX;
+pub(crate) const NO_CONTENT: u64 = u64::MAX;
+
+/// First eight bytes of a fingerprint, little-endian: the OOB stamp GC
+/// writes next to relocated pages so recovery can spot candidate duplicate
+/// copies (full equality is confirmed against cell content before any
+/// merge).
+pub(crate) fn fp_stamp(fp: &Fingerprint) -> u64 {
+    u64::from_le_bytes(fp.0[..8].try_into().expect("fingerprint shorter than 8 bytes"))
+}
 
 /// Why a logical page's mapping is being dropped. Overwrites and trims
 /// drive identical state transitions; the cause only controls *attribution*
@@ -43,6 +52,25 @@ pub(crate) enum ReleaseCause {
     Overwrite,
     /// The host deallocated the logical page.
     Trim,
+}
+
+/// FTL-side fault-handling counters (all zero on fault-free runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FaultHandling {
+    /// Program retries issued after injected program failures.
+    pub program_retries: u64,
+    /// Last-resort forced programs after the retry budget ran out.
+    pub forced_programs: u64,
+    /// Re-reads issued after injected ECC errors.
+    pub read_retries: u64,
+    /// Heroic soft-decodes after the re-read budget ran out.
+    pub ecc_decodes: u64,
+    /// Writes refused because the device degraded to read-only.
+    pub writes_rejected: u64,
+    /// Trims refused because the device degraded to read-only.
+    pub trims_rejected: u64,
+    /// Completed power-loss recovery passes.
+    pub recoveries: u64,
 }
 
 /// A fully-assembled simulated SSD running one scheme.
@@ -68,7 +96,7 @@ pub struct Ssd {
     /// matching it is worth a full fingerprint". Conservative — entries
     /// are not removed on invalidation, so stale entries cost an extra
     /// full hash, never a missed duplicate among fingerprinted pages.
-    prehash_filter: std::collections::HashSet<u32>,
+    pub(crate) prehash_filter: std::collections::HashSet<u32>,
 
     lat_all: Histogram,
     lat_read: Histogram,
@@ -82,6 +110,12 @@ pub struct Ssd {
     pub(crate) user_programs: u64,
     read_misses: u64,
     trims: u64,
+    /// Fault-handling counters (retries, rejections, recoveries).
+    pub(crate) fh: FaultHandling,
+    /// Requests fully completed and acknowledged to the host.
+    acknowledged: u64,
+    /// Report of the most recent power-loss recovery pass, if any.
+    pub(crate) last_recovery: Option<RecoveryReport>,
     end_ns: Nanos,
 }
 
@@ -95,7 +129,7 @@ impl Ssd {
             panic!("invalid SsdConfig: {e}");
         }
         let geom = cfg.flash.geometry();
-        let dev = FlashDevice::new(geom, cfg.flash.timing());
+        let dev = FlashDevice::with_faults(geom, cfg.flash.timing(), cfg.faults.clone());
         let logical = cfg.flash.logical_pages();
         // Interleave the free pool across dies so consecutive frontier
         // blocks (writes, migrations, erases) exploit die parallelism.
@@ -122,6 +156,9 @@ impl Ssd {
             user_programs: 0,
             read_misses: 0,
             trims: 0,
+            fh: FaultHandling::default(),
+            acknowledged: 0,
+            last_recovery: None,
             end_ns: 0,
             dev,
             cfg,
@@ -156,23 +193,53 @@ impl Ssd {
     /// Process one request arriving at its timestamp; returns its
     /// completion time. Requests must be fed in nondecreasing time order
     /// (as [`Trace`] guarantees).
+    ///
+    /// If simulated power is lost mid-request the request is *not*
+    /// acknowledged: this wrapper absorbs the error and returns the
+    /// arrival time. Callers that must tell acknowledged requests from
+    /// torn ones (crash tests) use [`Ssd::process_checked`].
     pub fn process(&mut self, req: &Request) -> Nanos {
+        self.process_checked(req).unwrap_or(req.at_ns)
+    }
+
+    /// [`Ssd::process`] that reports power loss instead of absorbing it.
+    ///
+    /// `Err(FlashError::PowerLoss)` means the request was torn: it was
+    /// never acknowledged, volatile FTL state is now stale, and the only
+    /// useful next step is [`Ssd::recover`] (every further request fails
+    /// the same way until then). All other flash errors are handled
+    /// internally — program retries on fresh blocks, bad-block retirement,
+    /// ECC re-reads — or are simulator bugs that panic at the failing
+    /// call site.
+    ///
+    /// # Errors
+    /// Only [`FlashError::PowerLoss`] is ever returned.
+    pub fn process_checked(&mut self, req: &Request) -> Result<Nanos, FlashError> {
+        if self.dev.is_crashed() {
+            return Err(FlashError::PowerLoss);
+        }
         let at = req.at_ns;
-        self.maybe_idle_gc(at);
+        self.maybe_idle_gc(at)?;
         let completion = match req.kind {
             OpKind::Read => {
                 let mut done = at;
                 for lpn in req.lpns() {
-                    done = done.max(self.read_page(lpn, at));
+                    done = done.max(self.read_page(lpn, at)?);
                 }
                 done
+            }
+            OpKind::Write if self.is_read_only() => {
+                // Spare blocks exhausted: the device has degraded to
+                // read-only and the controller fails the write fast.
+                self.fh.writes_rejected += 1;
+                at + self.cfg.read_miss_ns
             }
             OpKind::Write => {
                 // Check the watermark once per request. GC reserves die
                 // time; this write then contends with it on the timelines
                 // (it does not wait for the whole round — space exists as
                 // soon as maybe_gc returns).
-                self.maybe_gc(at);
+                self.maybe_gc(at)?;
                 self.host_pages_written += req.pages as u64;
                 // Pages of one request are processed in order by the FTL
                 // datapath: page i+1 starts when page i completes. (For
@@ -181,15 +248,19 @@ impl Ssd {
                 // page's hash+lookup on the request's critical path.)
                 let mut ready = at;
                 for (i, lpn) in req.lpns().enumerate() {
-                    ready = self.write_page(lpn, req.contents[i], ready);
+                    ready = self.write_page(lpn, req.contents[i], ready)?;
                 }
                 ready
+            }
+            OpKind::Trim if self.is_read_only() => {
+                self.fh.trims_rejected += 1;
+                at + self.cfg.trim_ns
             }
             OpKind::Trim => {
                 self.trims += 1;
                 if self.cfg.honor_trim {
                     for lpn in req.lpns() {
-                        self.release_lpn_as(lpn, at, ReleaseCause::Trim);
+                        self.release_lpn_as(lpn, at, ReleaseCause::Trim)?;
                     }
                 }
                 // Metadata-only: the mapping tables are updated but no die
@@ -210,7 +281,55 @@ impl Ssd {
             OpKind::Trim => self.lat_trim.record(latency),
         }
         self.end_ns = self.end_ns.max(completion);
-        completion
+        self.acknowledged += 1;
+        Ok(completion)
+    }
+
+    /// Whether bad-block retirement has degraded the device to read-only:
+    /// the usable pool has shrunk to the GC reserve plus the configured
+    /// floor, so accepting more writes would risk GC deadlock. Reads (and
+    /// GC itself) continue.
+    pub fn is_read_only(&self) -> bool {
+        self.alloc.retired_count() > 0
+            && self.alloc.usable_blocks()
+                <= self.alloc.gc_reserve() + self.cfg.read_only_floor_blocks
+    }
+
+    /// Requests fully completed and acknowledged to the host.
+    pub fn acknowledged_requests(&self) -> u64 {
+        self.acknowledged
+    }
+
+    /// Snapshot of fault-injection and fault-handling counters.
+    pub fn fault_report(&self) -> FaultReport {
+        let d = self.dev.stats();
+        FaultReport {
+            active: self.dev.faults_active(),
+            crashed: self.dev.is_crashed(),
+            read_only: self.is_read_only(),
+            program_failures: d.program_failures,
+            erase_failures: d.erase_failures,
+            read_ecc_errors: d.read_ecc_errors,
+            blocks_retired: d.blocks_retired,
+            journal_appends: d.journal_appends,
+            program_retries: self.fh.program_retries,
+            forced_programs: self.fh.forced_programs,
+            read_retries: self.fh.read_retries,
+            ecc_decodes: self.fh.ecc_decodes,
+            writes_rejected: self.fh.writes_rejected,
+            trims_rejected: self.fh.trims_rejected,
+            recoveries: self.fh.recoveries,
+        }
+    }
+
+    /// Append a mapping delta to the device journal. Journaling is only
+    /// needed (and only paid for) when fault injection is active —
+    /// fault-free runs never crash, so recovery never reads it.
+    pub(crate) fn journal(&mut self, op: JournalOp) -> Result<(), FlashError> {
+        if self.dev.faults_active() {
+            self.dev.journal_append(op)?;
+        }
+        Ok(())
     }
 
     /// Replay a whole trace and produce the run report.
@@ -258,6 +377,8 @@ impl Ssd {
             wear: self.dev.wear_summary(),
             wear_stddev: self.dev.wear_stddev(),
             die_utilization: self.die_utilization(),
+            faults: self.fault_report(),
+            recovery: self.last_recovery.clone(),
             end_ns: self.end_ns,
         }
     }
@@ -279,24 +400,53 @@ impl Ssd {
 
     // ---------------- page-level foreground operations ----------------
 
-    fn read_page(&mut self, lpn: Lpn, ready: Nanos) -> Nanos {
+    fn read_page(&mut self, lpn: Lpn, ready: Nanos) -> Result<Nanos, FlashError> {
         match self.map.get(lpn) {
-            Some(ppn) => self.dev.read(ppn, ready).end,
+            Some(ppn) => self.read_flash(ppn, ready),
             None => {
                 self.read_misses += 1;
-                ready + self.cfg.read_miss_ns
+                Ok(ready + self.cfg.read_miss_ns)
             }
         }
     }
 
-    fn write_page(&mut self, lpn: Lpn, content: ContentId, ready: Nanos) -> Nanos {
+    /// Read one flash page, absorbing injected ECC errors: up to
+    /// `max_read_retries` re-reads, then the heroic soft-decode path —
+    /// slower, but the data is always recovered (no silent loss).
+    pub(crate) fn read_flash(&mut self, ppn: Ppn, ready: Nanos) -> Result<Nanos, FlashError> {
+        let mut at = ready;
+        let mut attempts = 0;
+        loop {
+            match self.dev.read(ppn, at) {
+                Ok(r) => return Ok(r.end),
+                Err(FlashError::ReadEcc { at: failed_at, .. }) => {
+                    at = failed_at;
+                    if attempts < self.cfg.max_read_retries {
+                        attempts += 1;
+                        self.fh.read_retries += 1;
+                    } else {
+                        self.fh.ecc_decodes += 1;
+                        return Ok(at + self.cfg.ecc_decode_ns);
+                    }
+                }
+                Err(FlashError::PowerLoss) => return Err(FlashError::PowerLoss),
+                Err(e) => panic!("flash read failed: {e}"),
+            }
+        }
+    }
+
+    fn write_page(&mut self, lpn: Lpn, content: ContentId, ready: Nanos) -> Result<Nanos, FlashError> {
         match self.cfg.scheme {
             Scheme::Baseline | Scheme::Cagc => {
                 // Fast path: no content processing before the program.
+                // Out-of-place order: the overwritten copy is released only
+                // after the replacement program is durable, so a crash (or
+                // an emergency GC erase) in between can never destroy the
+                // last durable copy of acknowledged data.
+                let (end, ppn) = self.program_foreground(lpn, None, ready)?;
                 self.release_lpn(lpn, ready);
-                let (end, ppn) = self.program_foreground(ready);
                 self.bind(lpn, ppn, content);
-                end
+                Ok(end)
             }
             Scheme::InlineDedup => self.write_page_inline(lpn, content, ready),
             Scheme::InlineSampled => self.write_page_sampled(lpn, content, ready),
@@ -306,7 +456,12 @@ impl Ssd {
     /// The CAFTL-style sampled write path: a cheap pre-hash screens the
     /// page; only pre-hash matches (possible duplicates) pay the full
     /// fingerprint + lookup. First sightings are stored unfingerprinted.
-    fn write_page_sampled(&mut self, lpn: Lpn, content: ContentId, ready: Nanos) -> Nanos {
+    fn write_page_sampled(
+        &mut self,
+        lpn: Lpn,
+        content: ContentId,
+        ready: Nanos,
+    ) -> Result<Nanos, FlashError> {
         let screened = ready + self.cfg.prehash_ns;
         let pre = Self::prehash(content);
         if self.prehash_filter.contains(&pre) {
@@ -316,10 +471,10 @@ impl Ssd {
             self.write_page_inline(lpn, content, screened)
         } else {
             self.prehash_filter.insert(pre);
+            let (end, ppn) = self.program_foreground(lpn, None, screened)?;
             self.release_lpn(lpn, screened);
-            let (end, ppn) = self.program_foreground(screened);
             self.bind(lpn, ppn, content);
-            end
+            Ok(end)
         }
     }
 
@@ -327,7 +482,7 @@ impl Ssd {
     /// page's first bytes; collisions across distinct contents are rare
     /// but possible, costing a spurious full hash — exactly CAFTL's
     /// false-positive behaviour).
-    fn prehash(content: ContentId) -> u32 {
+    pub(crate) fn prehash(content: ContentId) -> u32 {
         let x = content.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         (x >> 32) as u32
     }
@@ -335,7 +490,12 @@ impl Ssd {
     /// The Inline-Dedupe write path: hash, probe, then either a metadata
     /// update (hit) or a program (miss) — with the hash latency always on
     /// the critical path.
-    fn write_page_inline(&mut self, lpn: Lpn, content: ContentId, ready: Nanos) -> Nanos {
+    fn write_page_inline(
+        &mut self,
+        lpn: Lpn,
+        content: ContentId,
+        ready: Nanos,
+    ) -> Result<Nanos, FlashError> {
         let h = self.hash.hash_page(ready);
         let decided = h.end + self.cfg.lookup_ns;
         let fp = Fingerprint::of_content(content);
@@ -343,39 +503,70 @@ impl Ssd {
             Some(entry) => {
                 if self.map.get(lpn) == Some(entry.ppn) {
                     // Overwrite with identical content: nothing changes.
-                    return decided;
+                    return Ok(decided);
                 }
                 self.release_lpn(lpn, decided);
                 self.index.add_refs(&fp, 1);
                 self.map.set(lpn, entry.ppn);
                 self.rmap.add(entry.ppn, lpn);
-                decided
+                // The hit is a pure metadata update — the journaled remap
+                // is the only durable trace of this write.
+                self.journal(JournalOp::Remap { lpn, ppn: entry.ppn })?;
+                Ok(decided)
             }
             None => {
+                let (end, ppn) = self.program_foreground(lpn, Some(fp_stamp(&fp)), decided)?;
                 self.release_lpn(lpn, decided);
-                let (end, ppn) = self.program_foreground(decided);
                 self.index.insert(fp, ppn, 1);
                 self.bind(lpn, ppn, content);
-                end
+                Ok(end)
             }
         }
     }
 
-    /// Program the next host-frontier page for the foreground path. The
-    /// host frontier is distinct from the GC frontiers, so user programs
-    /// never queue behind a burst of migration writes on the same block.
-    ///
-    /// If the free pool has sunk to the GC reserve (possible under victim
-    /// policies with poor reclaim efficiency, e.g. Random), emergency GC
-    /// runs synchronously until a block is available.
-    fn program_foreground(&mut self, ready: Nanos) -> (Nanos, Ppn) {
+    /// Program the next host-frontier page for the foreground path,
+    /// stamping the logical page (and, for inline schemes, the fingerprint)
+    /// into the page's OOB — the durable record recovery rebuilds the
+    /// mapping from. The host frontier is distinct from the GC frontiers,
+    /// so user programs never queue behind a burst of migration writes on
+    /// the same block.
+    fn program_foreground(
+        &mut self,
+        lpn: Lpn,
+        fp_stamp: Option<u64>,
+        ready: Nanos,
+    ) -> Result<(Nanos, Ppn), FlashError> {
+        let out = self.program_region(Region::Host, false, PageOob::host(lpn, fp_stamp), ready)?;
+        self.user_programs += 1;
+        Ok(out)
+    }
+
+    /// Allocate a frontier block in `region`. The GC path draws from the
+    /// reserve and treats exhaustion as a simulator bug; the foreground
+    /// path runs emergency GC until a block frees up (possible under
+    /// victim policies with poor reclaim efficiency, e.g. Random).
+    fn alloc_block(
+        &mut self,
+        region: Region,
+        for_gc: bool,
+        ready: Nanos,
+    ) -> Result<BlockId, FlashError> {
+        if for_gc {
+            return Ok(self.alloc.alloc_page(region, true).unwrap_or_else(|| {
+                panic!(
+                    "GC allocation failed with {} free blocks — reserve {} exhausted",
+                    self.alloc.free_blocks(),
+                    self.alloc.gc_reserve()
+                )
+            }));
+        }
         let mut attempts = 0;
-        let block = loop {
-            if let Some(block) = self.alloc.alloc_page(Region::Host, false) {
-                break block;
+        loop {
+            if let Some(block) = self.alloc.alloc_page(region, false) {
+                return Ok(block);
             }
             let freed_from = self.alloc.free_blocks();
-            self.force_gc(ready);
+            self.force_gc_inner(ready)?;
             attempts += 1;
             if self.alloc.free_blocks() <= freed_from && attempts > 64 {
                 panic!(
@@ -385,10 +576,56 @@ impl Ssd {
                     self.alloc.gc_reserve()
                 );
             }
-        };
-        let (res, ppn) = self.dev.program_next(block, ready);
-        self.user_programs += 1;
-        (res.end, ppn)
+        }
+    }
+
+    /// Issue one page program on `region`'s frontier, absorbing injected
+    /// program failures: each failure closes the frontier (the suspect
+    /// block drains to GC), charges the retry backoff to simulated time,
+    /// and retries on a fresh block; after `max_program_retries` failures
+    /// the program is forced through on ECC margin as a last resort.
+    pub(crate) fn program_region(
+        &mut self,
+        region: Region,
+        for_gc: bool,
+        oob: PageOob,
+        mut ready: Nanos,
+    ) -> Result<(Nanos, Ppn), FlashError> {
+        let mut retries = 0;
+        loop {
+            let block = self.alloc_block(region, for_gc, ready)?;
+            let forced = retries >= self.cfg.max_program_retries;
+            let res = if forced {
+                self.dev.program_next_forced(block, ready, oob)
+            } else {
+                self.dev.program_next(block, ready, oob)
+            };
+            match res {
+                Ok((r, ppn)) => {
+                    if forced {
+                        self.fh.forced_programs += 1;
+                    }
+                    return Ok((r.end, ppn));
+                }
+                Err(FlashError::ProgramFailed { at, .. }) => {
+                    self.fh.program_retries += 1;
+                    retries += 1;
+                    // The host path abandons the suspect block (it drains
+                    // to GC) and retries on a fresh one. The GC path must
+                    // NOT: closing a frontier strands the block's free
+                    // pages, and a burst of failures mid-round would bleed
+                    // the bounded reserve dry. It retries on the next page
+                    // — the failed page is already consumed as invalid, so
+                    // failures cost pages, never reserve blocks.
+                    if !for_gc {
+                        self.alloc.close_frontier(region);
+                    }
+                    ready = at + self.cfg.program_retry_backoff_ns;
+                }
+                Err(FlashError::PowerLoss) => return Err(FlashError::PowerLoss),
+                Err(e) => panic!("flash program failed: {e}"),
+            }
+        }
     }
 
     /// Bind a freshly programmed page to its logical page and content.
@@ -402,7 +639,8 @@ impl Ssd {
     /// reference count; the physical page is invalidated only when its last
     /// reference disappears (Sec. III-A).
     pub(crate) fn release_lpn(&mut self, lpn: Lpn, now: Nanos) {
-        self.release_lpn_as(lpn, now, ReleaseCause::Overwrite);
+        self.release_lpn_as(lpn, now, ReleaseCause::Overwrite)
+            .expect("overwrite releases journal nothing and cannot fail");
     }
 
     /// [`Ssd::release_lpn`] with the cause spelled out. Trim-caused
@@ -411,8 +649,13 @@ impl Ssd {
     /// so per-block trim garbage, refcount decay and report counters can
     /// all tell deallocation apart from overwrites; the state transitions
     /// themselves are identical.
-    pub(crate) fn release_lpn_as(&mut self, lpn: Lpn, now: Nanos, cause: ReleaseCause) {
-        let Some(old) = self.map.clear(lpn) else { return };
+    pub(crate) fn release_lpn_as(
+        &mut self,
+        lpn: Lpn,
+        now: Nanos,
+        cause: ReleaseCause,
+    ) -> Result<(), FlashError> {
+        let Some(old) = self.map.clear(lpn) else { return Ok(()) };
         let remaining_lpns = self.rmap.remove(old, lpn);
         let invalidate = |dev: &mut FlashDevice| match cause {
             ReleaseCause::Overwrite => dev.invalidate(old, now),
@@ -442,6 +685,13 @@ impl Ssd {
                 }
             }
         }
+        // A trim's only durable trace is the journaled unmap (an overwrite
+        // needs none: the new page's OOB bind supersedes the old one at a
+        // higher sequence number).
+        if cause == ReleaseCause::Trim {
+            self.journal(JournalOp::Unmap { lpn })?;
+        }
+        Ok(())
     }
 
     /// The stored content of a physical page.
@@ -462,6 +712,21 @@ impl Ssd {
     /// it.
     pub fn stored_content(&self, lpn: Lpn) -> Option<ContentId> {
         self.map.get(lpn).map(|ppn| self.content_at(ppn))
+    }
+
+    /// The physical page `lpn` currently resolves to, if mapped. Exposed so
+    /// crash-recovery tests can recount reference histograms from the
+    /// forward map alone, independent of the fingerprint index.
+    pub fn mapped_ppn(&self, lpn: Lpn) -> Option<Ppn> {
+        self.map.get(lpn)
+    }
+
+    /// Reference-count histogram of the live fingerprint index, bucketed
+    /// {1, 2, 3, >3} — the distribution Fig. 6 of the paper is built from,
+    /// and the quantity crash-recovery tests compare against a from-scratch
+    /// recount.
+    pub fn ref_histogram(&self) -> [u64; 4] {
+        self.index.live_ref_histogram()
     }
 
     /// Cross-module consistency audit (tests and debugging; O(device)).

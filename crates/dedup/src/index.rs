@@ -111,6 +111,22 @@ impl FingerprintIndex {
         self.stats.inserts += 1;
     }
 
+    /// Recovery-only insert: register a unique page rebuilt from durable
+    /// metadata (per-page OOB fingerprint stamp + recovered sharer count)
+    /// without touching traffic counters — a crash-recovery scan is not
+    /// index traffic, and `max_refs` history died with the crash, so it
+    /// restarts at the recovered count.
+    ///
+    /// # Panics
+    /// Same double-insertion contract as [`FingerprintIndex::insert`].
+    pub fn restore(&mut self, fp: Fingerprint, ppn: u64, refs: u32) {
+        assert!(refs >= 1, "restore with zero refs");
+        let prev = self.by_fp.insert(fp, FpEntry { ppn, refs, max_refs: refs });
+        assert!(prev.is_none(), "fingerprint already indexed: {fp:?}");
+        let prev = self.by_ppn.insert(ppn, fp);
+        assert!(prev.is_none(), "ppn {ppn} already indexed");
+    }
+
     /// Add `n` references to an existing entry; returns the new count.
     ///
     /// # Panics
@@ -345,6 +361,22 @@ mod tests {
         assert_eq!(e.refs, 3);
         assert_eq!(ix.ref_stats().total(), 0); // no invalidation recorded
         assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn restore_rebuilds_without_traffic_stats() {
+        let mut ix = FingerprintIndex::new();
+        ix.restore(fp(1), 100, 3);
+        ix.restore(fp(2), 101, 1);
+        let s = ix.stats();
+        assert_eq!((s.lookups, s.hits, s.inserts, s.removals), (0, 0, 0, 0));
+        assert_eq!(ix.refs_of_ppn(100), Some(3));
+        assert_eq!(ix.peek(&fp(1)).unwrap().max_refs, 3, "max_refs restarts at refs");
+        assert_eq!(ix.total_refs(), 4);
+        ix.audit().unwrap();
+        // Restored entries behave like any other afterwards.
+        assert_eq!(ix.release_ppn(101), Some(0));
+        assert_eq!(ix.len(), 1);
     }
 
     #[test]

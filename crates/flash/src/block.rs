@@ -127,20 +127,17 @@ impl Block {
     }
 
     /// Program the next page (must equal the write pointer). Returns the
-    /// page offset that was programmed. The page becomes `Valid`.
-    ///
-    /// # Panics
-    /// Panics if the block is full — the allocator must rotate to a new
-    /// block first; programming past the end is an FTL logic bug.
-    pub fn program_next(&mut self, now: Nanos) -> u32 {
-        let page = self
-            .next_program_page()
-            .unwrap_or_else(|| panic!("program on full block (write_ptr={})", self.write_ptr));
+    /// page offset that was programmed, or `None` if the block is full —
+    /// the allocator must rotate to a new block first, and the device turns
+    /// `None` into a structured [`crate::FlashError::BlockFull`] so the bug
+    /// is distinguishable from an injected fault. The page becomes `Valid`.
+    pub fn program_next(&mut self, now: Nanos) -> Option<u32> {
+        let page = self.next_program_page()?;
         self.written.set(page as usize, true);
         self.valid.set(page as usize, true);
         self.write_ptr += 1;
         self.last_modified_ns = now;
-        page
+        Some(page)
     }
 
     /// Mark a valid page invalid (its last logical reference went away).
@@ -196,6 +193,18 @@ impl Block {
     pub fn valid_pages(&self) -> impl Iterator<Item = u32> + '_ {
         self.valid.iter_ones().map(|i| i as u32)
     }
+
+    /// Recovery-only: overwrite the validity of every *written* page from
+    /// the durable truth `f(page)` (page is referenced by at least one
+    /// recovered logical mapping). The write pointer and wear are physical
+    /// facts and stay; trim attribution is volatile bookkeeping lost with
+    /// the crash, so it resets.
+    pub(crate) fn recover_validity(&mut self, mut f: impl FnMut(u32) -> bool) {
+        for page in 0..self.write_ptr {
+            self.valid.set(page as usize, f(page));
+        }
+        self.trimmed = 0;
+    }
 }
 
 #[cfg(test)]
@@ -216,10 +225,10 @@ mod tests {
     #[test]
     fn programs_advance_sequentially() {
         let mut b = Block::new(4);
-        assert_eq!(b.program_next(10), 0);
-        assert_eq!(b.program_next(11), 1);
-        assert_eq!(b.program_next(12), 2);
-        assert_eq!(b.program_next(13), 3);
+        assert_eq!(b.program_next(10), Some(0));
+        assert_eq!(b.program_next(11), Some(1));
+        assert_eq!(b.program_next(12), Some(2));
+        assert_eq!(b.program_next(13), Some(3));
         assert!(b.is_full());
         assert_eq!(b.next_program_page(), None);
         assert_eq!(b.valid_count(), 4);
@@ -227,11 +236,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "full block")]
-    fn programming_a_full_block_panics() {
+    fn programming_a_full_block_is_rejected() {
         let mut b = Block::new(1);
-        b.program_next(0);
-        b.program_next(1);
+        assert_eq!(b.program_next(0), Some(0));
+        assert_eq!(b.program_next(1), None);
+        // The rejected program changed nothing.
+        assert_eq!(b.valid_count(), 1);
+        assert_eq!(b.last_modified(), 0);
     }
 
     #[test]
@@ -278,7 +289,7 @@ mod tests {
         assert_eq!(b.free_count(), 3);
         assert_eq!(b.next_program_page(), Some(0));
         // Block is reusable after erase.
-        assert_eq!(b.program_next(100), 0);
+        assert_eq!(b.program_next(100), Some(0));
     }
 
     #[test]
@@ -332,6 +343,23 @@ mod tests {
         assert_eq!(b.trimmed_count(), 1);
         b.erase(2);
         assert_eq!(b.trimmed_count(), 0);
+    }
+
+    #[test]
+    fn recover_validity_rewrites_only_written_pages() {
+        let mut b = Block::new(4);
+        b.program_next(0);
+        b.program_next(0);
+        b.program_next(0);
+        b.deallocate(0, 1);
+        assert_eq!(b.trimmed_count(), 1);
+        // Durable truth: only page 1 is referenced.
+        b.recover_validity(|p| p == 1);
+        assert_eq!(b.page_state(0), PageState::Invalid);
+        assert_eq!(b.page_state(1), PageState::Valid);
+        assert_eq!(b.page_state(2), PageState::Invalid);
+        assert_eq!(b.page_state(3), PageState::Free, "unwritten pages stay free");
+        assert_eq!(b.trimmed_count(), 0, "trim attribution is volatile");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::addr::{BlockId, Ppn};
 use crate::block::{Block, PageState};
+use crate::fault::{FaultConfig, FaultPlan, FlashError, JournalEntry, JournalOp, PageOob};
 use crate::geometry::Geometry;
 use crate::stats::DeviceStats;
 use crate::timing::Timing;
@@ -28,8 +29,18 @@ pub enum OpKind {
 /// channel), matching FlashSim's resource model.
 ///
 /// The device enforces the NAND state machine (sequential program within a
-/// block, no erase of valid data) and panics on violations — FTL bugs should
-/// explode here, at the point of damage, not corrupt statistics silently.
+/// block, no erase of valid data). Violations surface as the caller-bug
+/// variants of [`FlashError`] — FTL bugs should explode at the point of
+/// damage, not corrupt statistics silently — while a configured
+/// [`FaultPlan`] injects the *device's own* misbehaviour: program/erase
+/// failures, read ECC errors, wear-out, power loss.
+///
+/// Alongside the cells, the device persists what a real controller keeps
+/// for recovery: per-page OOB metadata ([`PageOob`], stamped at program
+/// time), an append-only mapping-delta journal ([`JournalEntry`]) and a
+/// bad-block table. After a simulated power loss, everything volatile in
+/// the FTL is rebuilt from exactly these three (see `cagc-core`'s
+/// recovery pass).
 #[derive(Debug, Clone)]
 pub struct FlashDevice {
     geometry: Geometry,
@@ -38,12 +49,29 @@ pub struct FlashDevice {
     dies: TimelineGroup,
     channels: TimelineGroup,
     stats: DeviceStats,
+    plan: FaultPlan,
+    /// Per-page OOB, indexed by PPN. Reset lazily: an erase clears its
+    /// block's entries.
+    oob: Vec<PageOob>,
+    /// Append-only mapping-delta journal (see [`FlashDevice::journal_append`]).
+    journal: Vec<JournalEntry>,
+    /// Bad-block table: blocks retired after an erase failure.
+    retired: Vec<bool>,
+    retired_count: u32,
+    /// Shared durable sequence counter for OOB stamps and journal records.
+    seq: u64,
 }
 
 impl FlashDevice {
-    /// A fresh device: all blocks erased, all dies idle.
+    /// A fresh device with no fault injection: all blocks erased, all dies
+    /// idle. Behaves bit-identically to the pre-fault-subsystem device.
     pub fn new(geometry: Geometry, timing: Timing) -> Self {
-        let blocks =
+        Self::with_faults(geometry, timing, FaultConfig::none())
+    }
+
+    /// A fresh device with the given fault-injection configuration.
+    pub fn with_faults(geometry: Geometry, timing: Timing, faults: FaultConfig) -> Self {
+        let blocks: Vec<Block> =
             (0..geometry.total_blocks()).map(|_| Block::new(geometry.pages_per_block)).collect();
         Self {
             geometry,
@@ -52,6 +80,12 @@ impl FlashDevice {
             dies: TimelineGroup::new(geometry.total_dies() as usize),
             channels: TimelineGroup::new(geometry.channels as usize),
             stats: DeviceStats::default(),
+            plan: FaultPlan::new(faults),
+            oob: vec![PageOob::default(); geometry.total_pages() as usize],
+            journal: Vec::new(),
+            retired: vec![false; geometry.total_blocks() as usize],
+            retired_count: 0,
+            seq: 0,
         }
     }
 
@@ -107,35 +141,169 @@ impl FlashDevice {
         (0..self.dies.len()).map(|d| self.dies.get(d).busy_total()).collect()
     }
 
+    /// Whether the simulated power-loss point has been reached. While
+    /// crashed, every device operation fails with
+    /// [`FlashError::PowerLoss`] until [`FlashDevice::power_cycle`].
+    #[inline]
+    pub fn is_crashed(&self) -> bool {
+        self.plan.crashed()
+    }
+
+    /// Whether any fault source is configured.
+    #[inline]
+    pub fn faults_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// Power the device back on after a crash: cells, OOB, journal and
+    /// bad-block table are intact (they are the durable state); the latch
+    /// clears and the consumed crash point will not fire again. The FTL
+    /// must now run its recovery pass before trusting any volatile state.
+    pub fn power_cycle(&mut self) {
+        self.plan.power_cycle();
+    }
+
+    /// Whether block `b` has been retired to the bad-block table.
+    #[inline]
+    pub fn is_retired(&self, b: BlockId) -> bool {
+        self.retired[b as usize]
+    }
+
+    /// Blocks currently in the bad-block table, ascending.
+    pub fn retired_blocks(&self) -> Vec<BlockId> {
+        (0..self.block_count()).filter(|&b| self.retired[b as usize]).collect()
+    }
+
+    /// OOB metadata of the page at `ppn` (zeroed if never programmed since
+    /// the last erase).
+    #[inline]
+    pub fn oob(&self, ppn: Ppn) -> PageOob {
+        self.oob[ppn as usize]
+    }
+
+    /// The mapping-delta journal, in append (= durable) order.
+    #[inline]
+    pub fn journal(&self) -> &[JournalEntry] {
+        &self.journal
+    }
+
+    /// Durable operations performed so far (programs, erases, journal
+    /// appends) — the clock `FaultConfig::crash_at_op` counts in.
+    #[inline]
+    pub fn durable_ops(&self) -> u64 {
+        self.plan.durable_ops()
+    }
+
+    /// Append a mapping mutation to the metadata journal. This is a
+    /// durable operation: it advances the shared sequence counter and
+    /// counts toward the crash point. Metadata writes ride the controller's
+    /// capacitor-backed buffer, so no die time is charged.
+    pub fn journal_append(&mut self, op: JournalOp) -> Result<u64, FlashError> {
+        self.plan.note_durable_op()?;
+        let seq = self.bump_seq();
+        self.journal.push(JournalEntry { seq, op });
+        self.stats.journal_appends += 1;
+        Ok(seq)
+    }
+
     /// Issue a page read at `ppn`, ready no earlier than `ready_at`.
     ///
-    /// Reads of `Free` pages are rejected (panic): the FTL must never read
-    /// an unwritten physical page. Invalid pages may still be read — GC
-    /// migration reads a page before its mapping metadata is finalized.
-    pub fn read(&mut self, ppn: Ppn, ready_at: Nanos) -> Reservation {
-        assert!(
-            self.page_state(ppn) != PageState::Free,
-            "read of free (unwritten) page ppn={ppn}"
-        );
+    /// Reads of `Free` pages are rejected ([`FlashError::ReadFree`]): the
+    /// FTL must never read an unwritten physical page. Invalid pages may
+    /// still be read — GC migration reads a page before its mapping
+    /// metadata is finalized. An injected ECC error still occupies the die
+    /// for the full read and returns [`FlashError::ReadEcc`] with the
+    /// attempt's completion time; the caller decides whether to re-read.
+    pub fn read(&mut self, ppn: Ppn, ready_at: Nanos) -> Result<Reservation, FlashError> {
+        if self.plan.crashed() {
+            return Err(FlashError::PowerLoss);
+        }
+        if ppn >= self.geometry.total_pages() {
+            return Err(FlashError::BadPpn { ppn });
+        }
+        if self.page_state(ppn) == PageState::Free {
+            return Err(FlashError::ReadFree { ppn });
+        }
         let r = self.reserve_page_op(ppn, ready_at, self.timing.read_service());
         self.stats.reads += 1;
         self.stats.read_busy_ns += self.timing.read_service();
-        r
+        if self.plan.roll_read() {
+            self.stats.read_ecc_errors += 1;
+            return Err(FlashError::ReadEcc { ppn, at: r.end });
+        }
+        Ok(r)
     }
 
     /// Program the **next free page** of block `block` (NAND requires
-    /// sequential program order). Returns the reservation and the programmed
-    /// PPN.
+    /// sequential program order), stamping `oob` (the device fills in
+    /// [`PageOob::seq`]). Returns the reservation and the programmed PPN.
     ///
-    /// # Panics
-    /// Panics if the block is full.
-    pub fn program_next(&mut self, block: BlockId, ready_at: Nanos) -> (Reservation, Ppn) {
+    /// Programs are durable operations: they count toward the crash point.
+    /// An injected program failure consumes the page (it is left `Invalid`
+    /// with a torn OOB), occupies the die for the full program, and
+    /// returns [`FlashError::ProgramFailed`]; the FTL retries on another
+    /// block. Caller bugs return [`FlashError::BlockFull`] /
+    /// [`FlashError::BadBlock`] / [`FlashError::Retired`].
+    pub fn program_next(
+        &mut self,
+        block: BlockId,
+        ready_at: Nanos,
+        oob: PageOob,
+    ) -> Result<(Reservation, Ppn), FlashError> {
+        self.program_inner(block, ready_at, oob, true)
+    }
+
+    /// [`FlashDevice::program_next`] with fault injection bypassed (power
+    /// loss and caller bugs still apply). The FTL's last-resort path after
+    /// exhausting bounded retries: real controllers shift to a stronger
+    /// program algorithm rather than fail the host write.
+    pub fn program_next_forced(
+        &mut self,
+        block: BlockId,
+        ready_at: Nanos,
+        oob: PageOob,
+    ) -> Result<(Reservation, Ppn), FlashError> {
+        self.program_inner(block, ready_at, oob, false)
+    }
+
+    fn program_inner(
+        &mut self,
+        block: BlockId,
+        ready_at: Nanos,
+        oob: PageOob,
+        faultable: bool,
+    ) -> Result<(Reservation, Ppn), FlashError> {
+        if self.plan.crashed() {
+            return Err(FlashError::PowerLoss);
+        }
+        if block >= self.block_count() {
+            return Err(FlashError::BadBlock { block });
+        }
+        if self.retired[block as usize] {
+            return Err(FlashError::Retired { block });
+        }
+        if self.blocks[block as usize].is_full() {
+            return Err(FlashError::BlockFull { block });
+        }
+        self.plan.note_durable_op()?;
         let svc = self.timing.program_service();
         let r = self.reserve_block_op(block, ready_at, svc);
-        let page = self.blocks[block as usize].program_next(r.end);
+        let page = self.blocks[block as usize]
+            .program_next(r.end)
+            .expect("checked not full above");
+        let ppn = self.geometry.ppn(block, page);
+        let seq = self.bump_seq();
         self.stats.programs += 1;
         self.stats.program_busy_ns += svc;
-        (r, self.geometry.ppn(block, page))
+        if faultable && self.plan.roll_program() {
+            // The attempt spoiled the page: consumed, unreadable, torn OOB.
+            self.blocks[block as usize].invalidate(page, r.end);
+            self.oob[ppn as usize] = PageOob { lpn: None, fp: None, seq };
+            self.stats.program_failures += 1;
+            return Err(FlashError::ProgramFailed { ppn, at: r.end });
+        }
+        self.oob[ppn as usize] = PageOob { seq, ..oob };
+        Ok((r, ppn))
     }
 
     /// Mark `ppn` invalid (no flash operation — metadata only, free).
@@ -158,15 +326,58 @@ impl FlashDevice {
 
     /// Erase block `block`, ready no earlier than `ready_at`.
     ///
-    /// # Panics
-    /// Panics if the block still holds valid pages.
-    pub fn erase(&mut self, block: BlockId, ready_at: Nanos) -> Reservation {
+    /// Erases are durable operations: they count toward the crash point.
+    /// An injected erase failure (probability rises with wear past the
+    /// endurance limit) retires the block to the bad-block table — its
+    /// pages leave the usable pool forever — and returns
+    /// [`FlashError::EraseFailed`]; the FTL accounts the capacity loss.
+    /// Erasing a block that still holds valid pages is a caller bug
+    /// ([`FlashError::EraseValid`]).
+    pub fn erase(&mut self, block: BlockId, ready_at: Nanos) -> Result<Reservation, FlashError> {
+        if self.plan.crashed() {
+            return Err(FlashError::PowerLoss);
+        }
+        if block >= self.block_count() {
+            return Err(FlashError::BadBlock { block });
+        }
+        if self.retired[block as usize] {
+            return Err(FlashError::Retired { block });
+        }
+        let valid = self.blocks[block as usize].valid_count();
+        if valid > 0 {
+            return Err(FlashError::EraseValid { block, valid });
+        }
+        self.plan.note_durable_op()?;
         let die = self.geometry.die_of_block(block) as usize;
         let r = self.dies.reserve(die, ready_at, self.timing.erase_ns);
+        let wear = self.blocks[block as usize].erase_count();
+        if self.plan.roll_erase(wear) {
+            self.retired[block as usize] = true;
+            self.retired_count += 1;
+            self.stats.erase_failures += 1;
+            self.stats.blocks_retired += 1;
+            self.stats.erase_busy_ns += self.timing.erase_ns;
+            return Err(FlashError::EraseFailed { block, at: r.end });
+        }
         self.blocks[block as usize].erase(r.end);
+        for ppn in self.geometry.pages_of_block(block) {
+            self.oob[ppn as usize] = PageOob::default();
+        }
         self.stats.erases += 1;
         self.stats.erase_busy_ns += self.timing.erase_ns;
-        r
+        Ok(r)
+    }
+
+    /// Recovery-only: rewrite every written page's validity from the
+    /// durable truth `f(ppn)` (the page is referenced by at least one
+    /// recovered logical mapping). Wear, write pointers and cell contents
+    /// are physical facts and stay; per-block trim attribution is volatile
+    /// and resets (see [`Block::recover_validity`]).
+    pub fn recover_validity(&mut self, mut f: impl FnMut(Ppn) -> bool) {
+        for b in 0..self.blocks.len() {
+            let base = self.geometry.ppn(b as BlockId, 0);
+            self.blocks[b].recover_validity(|page| f(base + page as u64));
+        }
     }
 
     /// Min/max/mean erase count across blocks (wear-leveling report).
@@ -193,6 +404,13 @@ impl FlashDevice {
             .sum::<f64>()
             / self.blocks.len() as f64;
         var.sqrt()
+    }
+
+    #[inline]
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
     }
 
     fn reserve_page_op(&mut self, ppn: Ppn, ready_at: Nanos, svc: Nanos) -> Reservation {
@@ -227,14 +445,22 @@ mod tests {
         FlashDevice::new(Geometry::new(1, 2, 1, 4, 8, 4096), Timing::ull())
     }
 
+    fn faulty(faults: FaultConfig) -> FlashDevice {
+        FlashDevice::with_faults(Geometry::new(1, 2, 1, 4, 8, 4096), Timing::ull(), faults)
+    }
+
+    fn host(lpn: u64) -> PageOob {
+        PageOob::host(lpn, None)
+    }
+
     #[test]
     fn program_then_read_round_trip_times() {
         let mut d = dev();
-        let (w, ppn) = d.program_next(0, 0);
+        let (w, ppn) = d.program_next(0, 0, host(0)).unwrap();
         assert_eq!(w.start, 0);
         assert_eq!(w.end, us(16));
         assert_eq!(ppn, d.geometry().ppn(0, 0));
-        let r = d.read(ppn, w.end);
+        let r = d.read(ppn, w.end).unwrap();
         assert_eq!(r.end, us(28)); // 16 + 12
         assert_eq!(d.stats().reads, 1);
         assert_eq!(d.stats().programs, 1);
@@ -244,9 +470,9 @@ mod tests {
     fn same_die_ops_serialize_different_dies_overlap() {
         let mut d = dev();
         // Blocks 0..4 are die 0; blocks 4..8 are die 1.
-        let (a, _) = d.program_next(0, 0);
-        let (b, _) = d.program_next(1, 0); // same die: queues
-        let (c, _) = d.program_next(4, 0); // other die: parallel
+        let (a, _) = d.program_next(0, 0, host(0)).unwrap();
+        let (b, _) = d.program_next(1, 0, host(1)).unwrap(); // same die: queues
+        let (c, _) = d.program_next(4, 0, host(2)).unwrap(); // other die: parallel
         assert_eq!(a.end, us(16));
         assert_eq!(b.start, us(16));
         assert_eq!(b.end, us(32));
@@ -257,38 +483,60 @@ mod tests {
     #[test]
     fn erase_blocks_the_die_for_1_5_ms() {
         let mut d = dev();
-        let (w, ppn) = d.program_next(0, 0);
+        let (w, ppn) = d.program_next(0, 0, host(0)).unwrap();
         d.invalidate(ppn, w.end);
-        let e = d.erase(0, w.end);
+        let e = d.erase(0, w.end).unwrap();
         assert_eq!(e.end - e.start, us(1500));
         // A subsequent read on the same die waits out the erase.
-        let (w2, ppn2) = d.program_next(1, 0);
+        let (w2, ppn2) = d.program_next(1, 0, host(1)).unwrap();
         assert!(w2.start >= e.end);
-        let r = d.read(ppn2, w2.end);
+        let r = d.read(ppn2, w2.end).unwrap();
         assert_eq!(r.start, w2.end);
     }
 
     #[test]
-    #[should_panic(expected = "free (unwritten) page")]
-    fn reading_unwritten_page_panics() {
+    fn reading_unwritten_page_is_a_structured_error() {
         let mut d = dev();
-        d.read(3, 0);
+        assert_eq!(d.read(3, 0), Err(FlashError::ReadFree { ppn: 3 }));
+        let bad = d.geometry().total_pages() + 7;
+        assert_eq!(d.read(bad, 0), Err(FlashError::BadPpn { ppn: bad }));
+        assert_eq!(d.stats().reads, 0, "rejected reads consume no die time");
+    }
+
+    #[test]
+    fn caller_bugs_are_structured_errors() {
+        let mut d = dev();
+        for i in 0..8 {
+            d.program_next(2, 0, host(i)).unwrap();
+        }
+        assert_eq!(
+            d.program_next(2, 0, host(9)),
+            Err(FlashError::BlockFull { block: 2 })
+        );
+        assert_eq!(d.program_next(99, 0, host(9)), Err(FlashError::BadBlock { block: 99 }));
+        assert_eq!(d.erase(99, 0), Err(FlashError::BadBlock { block: 99 }));
+        assert_eq!(
+            d.erase(2, 0),
+            Err(FlashError::EraseValid { block: 2, valid: 8 })
+        );
+        assert_eq!(d.stats().programs, 8, "rejected ops leave no trace in stats");
+        assert_eq!(d.stats().erases, 0);
     }
 
     #[test]
     fn invalid_pages_remain_readable_for_migration() {
         let mut d = dev();
-        let (w, ppn) = d.program_next(0, 0);
+        let (w, ppn) = d.program_next(0, 0, host(0)).unwrap();
         d.invalidate(ppn, w.end);
-        let r = d.read(ppn, w.end); // GC may still need the cells
+        let r = d.read(ppn, w.end).unwrap(); // GC may still need the cells
         assert!(r.end > w.end);
     }
 
     #[test]
     fn deallocate_attributes_trim_garbage() {
         let mut d = dev();
-        let (w, p0) = d.program_next(0, 0);
-        let (_, p1) = d.program_next(0, 0);
+        let (w, p0) = d.program_next(0, 0, host(0)).unwrap();
+        let (_, p1) = d.program_next(0, 0, host(1)).unwrap();
         d.deallocate(p0, w.end);
         d.invalidate(p1, w.end);
         assert_eq!(d.page_state(p0), PageState::Invalid);
@@ -296,7 +544,7 @@ mod tests {
         assert_eq!(d.block(0).trimmed_count(), 1);
         assert_eq!(d.stats().trimmed_pages, 1);
         // Erase clears the per-block attribution; the device total persists.
-        let e = d.erase(0, w.end);
+        let e = d.erase(0, w.end).unwrap();
         assert!(e.end > e.start);
         assert_eq!(d.block(0).trimmed_count(), 0);
         assert_eq!(d.stats().trimmed_pages, 1);
@@ -305,14 +553,14 @@ mod tests {
     #[test]
     fn erase_resets_block_for_reuse() {
         let mut d = dev();
-        for _ in 0..8 {
-            let (w, ppn) = d.program_next(2, 0);
+        for i in 0..8 {
+            let (w, ppn) = d.program_next(2, 0, host(i)).unwrap();
             d.invalidate(ppn, w.end);
         }
         assert!(d.block(2).is_full());
-        d.erase(2, us(1000));
+        d.erase(2, us(1000)).unwrap();
         assert!(d.block(2).is_free());
-        let (_, ppn) = d.program_next(2, us(3000));
+        let (_, ppn) = d.program_next(2, us(3000), host(0)).unwrap();
         assert_eq!(d.geometry().page_of(ppn), 0);
         assert_eq!(d.block(2).erase_count(), 1);
     }
@@ -320,9 +568,9 @@ mod tests {
     #[test]
     fn stats_accumulate_busy_time() {
         let mut d = dev();
-        let (_, p0) = d.program_next(0, 0);
-        let (_, _p1) = d.program_next(0, 0);
-        d.read(p0, 0);
+        let (_, p0) = d.program_next(0, 0, host(0)).unwrap();
+        let (_, _p1) = d.program_next(0, 0, host(1)).unwrap();
+        d.read(p0, 0).unwrap();
         d.invalidate(p0, 0);
         assert_eq!(d.stats().program_busy_ns, us(32));
         assert_eq!(d.stats().read_busy_ns, us(12));
@@ -334,8 +582,8 @@ mod tests {
         let timing = Timing { bus_xfer_ns: us(2), ..Timing::ull() };
         // 1 channel, 2 dies: transfers contend even across dies.
         let mut d = FlashDevice::new(Geometry::new(1, 2, 1, 4, 8, 4096), timing);
-        let (a, _) = d.program_next(0, 0); // die 0
-        let (b, _) = d.program_next(4, 0); // die 1, same channel
+        let (a, _) = d.program_next(0, 0, host(0)).unwrap(); // die 0
+        let (b, _) = d.program_next(4, 0, host(1)).unwrap(); // die 1, same channel
         assert_eq!(a.end, us(18)); // 2 xfer + 16 program
         assert_eq!(b.start, us(2)); // waits for channel only
         assert_eq!(b.end, us(20));
@@ -345,13 +593,151 @@ mod tests {
     fn wear_summary_tracks_spread() {
         let mut d = dev();
         for _ in 0..3 {
-            let (w, ppn) = d.program_next(0, 0);
+            let (w, ppn) = d.program_next(0, 0, host(0)).unwrap();
             d.invalidate(ppn, w.end);
-            d.erase(0, w.end);
+            d.erase(0, w.end).unwrap();
         }
         let (min, max, mean) = d.wear_summary();
         assert_eq!(min, 0);
         assert_eq!(max, 3);
         assert!((mean - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oob_is_stamped_at_program_time_and_cleared_by_erase() {
+        let mut d = dev();
+        let (_, p0) = d.program_next(0, 0, PageOob::host(42, Some(0xfeed))).unwrap();
+        let (_, p1) = d.program_next(0, 0, PageOob::gc(Some(0xbeef))).unwrap();
+        assert_eq!(d.oob(p0), PageOob { lpn: Some(42), fp: Some(0xfeed), seq: 0 });
+        assert_eq!(d.oob(p1), PageOob { lpn: None, fp: Some(0xbeef), seq: 1 });
+        d.invalidate(p0, 0);
+        d.invalidate(p1, 0);
+        d.erase(0, 0).unwrap();
+        assert_eq!(d.oob(p0), PageOob::default());
+        assert_eq!(d.oob(p1), PageOob::default());
+    }
+
+    #[test]
+    fn journal_shares_the_sequence_counter_with_oob() {
+        let mut d = dev();
+        let (_, p0) = d.program_next(0, 0, host(1)).unwrap();
+        let s = d.journal_append(JournalOp::Remap { lpn: 2, ppn: p0 }).unwrap();
+        let (_, p1) = d.program_next(0, 0, host(3)).unwrap();
+        d.journal_append(JournalOp::Unmap { lpn: 2 }).unwrap();
+        assert_eq!(d.oob(p0).seq, 0);
+        assert_eq!(s, 1);
+        assert_eq!(d.oob(p1).seq, 2);
+        assert_eq!(d.journal().len(), 2);
+        assert_eq!(d.journal()[1].seq, 3);
+        assert_eq!(d.journal()[1].op, JournalOp::Unmap { lpn: 2 });
+        assert_eq!(d.stats().journal_appends, 2);
+        assert_eq!(d.durable_ops(), 4);
+    }
+
+    #[test]
+    fn scheduled_program_failure_spoils_the_page() {
+        let mut d = faulty(FaultConfig {
+            fail_program_ops: vec![1],
+            ..FaultConfig::none()
+        });
+        let (_, p0) = d.program_next(0, 0, host(7)).unwrap();
+        let err = d.program_next(0, 0, host(8)).unwrap_err();
+        let FlashError::ProgramFailed { ppn, at } = err else {
+            panic!("expected ProgramFailed, got {err:?}")
+        };
+        assert_eq!(ppn, p0 + 1);
+        assert_eq!(at, us(32), "the failed attempt still occupied the die");
+        assert_eq!(d.page_state(ppn), PageState::Invalid, "the page is consumed");
+        assert_eq!(d.oob(ppn), PageOob { lpn: None, fp: None, seq: 1 }, "torn OOB");
+        assert_eq!(d.stats().program_failures, 1);
+        // The next program lands on the following page of the same block.
+        let (_, p2) = d.program_next(0, 0, host(8)).unwrap();
+        assert_eq!(p2, ppn + 1);
+    }
+
+    #[test]
+    fn forced_program_bypasses_injection() {
+        let mut d = faulty(FaultConfig { program_fail_prob: 1.0, ..FaultConfig::none() });
+        assert!(d.program_next(0, 0, host(0)).is_err());
+        let (_, ppn) = d.program_next_forced(0, 0, host(0)).unwrap();
+        assert_eq!(d.page_state(ppn), PageState::Valid);
+        assert_eq!(d.oob(ppn).lpn, Some(0));
+    }
+
+    #[test]
+    fn erase_failure_retires_the_block() {
+        let mut d = faulty(FaultConfig { fail_erase_ops: vec![0], ..FaultConfig::none() });
+        let (w, ppn) = d.program_next(3, 0, host(0)).unwrap();
+        d.invalidate(ppn, w.end);
+        let err = d.erase(3, w.end).unwrap_err();
+        assert_eq!(err, FlashError::EraseFailed { block: 3, at: w.end + us(1500) });
+        assert!(d.is_retired(3));
+        assert_eq!(d.retired_blocks(), vec![3]);
+        assert_eq!(d.stats().erase_failures, 1);
+        assert_eq!(d.stats().blocks_retired, 1);
+        assert_eq!(d.stats().erases, 0, "a failed erase is not an erase");
+        // The retired block accepts no further work.
+        assert_eq!(d.program_next(3, 0, host(1)), Err(FlashError::Retired { block: 3 }));
+        assert_eq!(d.erase(3, 0), Err(FlashError::Retired { block: 3 }));
+    }
+
+    #[test]
+    fn wearout_retires_old_blocks_eventually() {
+        let mut d = faulty(FaultConfig {
+            endurance_limit: 3,
+            wearout_slope: 0.5,
+            seed: 11,
+            ..FaultConfig::none()
+        });
+        let mut cycles = 0u32;
+        while !d.is_retired(0) {
+            match d.program_next(0, 0, host(0)) {
+                Ok((w, ppn)) => {
+                    d.invalidate(ppn, w.end);
+                    let _ = d.erase(0, w.end);
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+            cycles += 1;
+            assert!(cycles < 100, "wear-out never fired");
+        }
+        assert!(d.block(0).erase_count() >= 3, "retirement before the endurance limit");
+    }
+
+    #[test]
+    fn crash_latches_until_power_cycle() {
+        let mut d = faulty(FaultConfig { crash_at_op: Some(2), ..FaultConfig::none() });
+        let (_, p0) = d.program_next(0, 0, host(0)).unwrap();
+        d.program_next(0, 0, host(1)).unwrap();
+        // The third durable op trips the crash; nothing after it succeeds.
+        assert_eq!(d.program_next(0, 0, host(2)), Err(FlashError::PowerLoss));
+        assert!(d.is_crashed());
+        assert_eq!(d.read(p0, 0), Err(FlashError::PowerLoss));
+        assert_eq!(d.erase(1, 0), Err(FlashError::PowerLoss));
+        assert_eq!(
+            d.journal_append(JournalOp::Unmap { lpn: 0 }),
+            Err(FlashError::PowerLoss)
+        );
+        assert_eq!(d.stats().programs, 2, "the crashed op never happened");
+        // Power back on: durable state intact, crash point consumed.
+        d.power_cycle();
+        assert!(!d.is_crashed());
+        assert_eq!(d.oob(p0).lpn, Some(0));
+        d.read(p0, 0).unwrap();
+        d.program_next(0, 0, host(2)).unwrap();
+    }
+
+    #[test]
+    fn recover_validity_applies_durable_truth() {
+        let mut d = dev();
+        let (_, p0) = d.program_next(0, 0, host(0)).unwrap();
+        let (_, p1) = d.program_next(0, 0, host(1)).unwrap();
+        d.invalidate(p0, 0);
+        // Durable truth says p0 is referenced and p1 is not (the
+        // invalidation above was volatile and lost).
+        d.recover_validity(|ppn| ppn == p0);
+        assert_eq!(d.page_state(p0), PageState::Valid);
+        assert_eq!(d.page_state(p1), PageState::Invalid);
+        assert_eq!(d.block(0).valid_count(), 1);
     }
 }

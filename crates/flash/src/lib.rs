@@ -23,14 +23,23 @@
 //!   different dies proceed in parallel, which is exactly how GC interferes
 //!   with foreground traffic in the paper.
 //!
+//! * **Faults** ([`FaultConfig`], [`FlashError`]): a seeded, deterministic
+//!   fault plan injects program/erase failures, read ECC errors, per-block
+//!   wear-out and a power-loss point; the device keeps the durable
+//!   metadata (per-page OOB, mapping-delta journal, bad-block table) a
+//!   recovery pass rebuilds the FTL from. With the default (empty) config
+//!   the device is bit-identical to the fault-free model.
+//!
 //! ```
-//! use cagc_flash::{FlashDevice, UllConfig};
+//! use cagc_flash::{FlashDevice, PageOob, UllConfig};
 //!
 //! let cfg = UllConfig::tiny_for_tests();
 //! let mut dev = FlashDevice::new(cfg.geometry(), cfg.timing());
-//! let (reservation, ppn) = dev.program_next(0, 0); // block 0, next page
+//! // Program block 0's next page, binding logical page 9 in its OOB.
+//! let (reservation, ppn) = dev.program_next(0, 0, PageOob::host(9, None)).unwrap();
 //! assert_eq!(reservation.end, 16_000); // 16us program, idle die
 //! assert_eq!(ppn, dev.geometry().ppn(0, 0));
+//! assert_eq!(dev.oob(ppn).lpn, Some(9));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -41,6 +50,7 @@ pub mod bitmap;
 pub mod block;
 pub mod config;
 pub mod device;
+pub mod fault;
 pub mod geometry;
 pub mod stats;
 pub mod timing;
@@ -49,6 +59,7 @@ pub use addr::{BlockId, PageOffset, Ppn, NO_PPN};
 pub use block::{Block, PageState};
 pub use config::UllConfig;
 pub use device::{FlashDevice, OpKind};
+pub use fault::{FaultConfig, FaultPlan, FlashError, JournalEntry, JournalOp, PageOob};
 pub use geometry::Geometry;
 pub use stats::DeviceStats;
 pub use timing::Timing;

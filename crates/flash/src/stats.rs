@@ -20,6 +20,18 @@ pub struct DeviceStats {
     pub program_busy_ns: Nanos,
     /// Total die-busy time consumed by erases.
     pub erase_busy_ns: Nanos,
+    /// Injected program failures (the attempt consumed a page and die time
+    /// but stored nothing readable).
+    pub program_failures: u64,
+    /// Injected erase failures (each one retired its block).
+    pub erase_failures: u64,
+    /// Injected uncorrectable-ECC read errors (per attempt; retries that
+    /// fail again count again).
+    pub read_ecc_errors: u64,
+    /// Blocks retired to the bad-block table.
+    pub blocks_retired: u64,
+    /// Mapping-delta records appended to the metadata journal.
+    pub journal_appends: u64,
 }
 
 impl DeviceStats {
@@ -48,6 +60,7 @@ mod tests {
             read_busy_ns: 24_000,
             program_busy_ns: 48_000,
             erase_busy_ns: 1_500_000,
+            ..DeviceStats::default()
         };
         // Trims are metadata-only: they count as neither ops nor busy time.
         assert_eq!(s.total_ops(), 6);

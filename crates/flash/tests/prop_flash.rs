@@ -1,6 +1,6 @@
 //! Property-based tests for the flash device model.
 
-use cagc_flash::{FlashDevice, Geometry, PageState, Timing, UllConfig};
+use cagc_flash::{FaultConfig, FlashDevice, FlashError, Geometry, PageOob, PageState, Timing, UllConfig};
 use cagc_harness::prop::*;
 
 fn small_geometry() -> Geometry {
@@ -47,7 +47,7 @@ harness_proptest! {
                 0 => {
                     // program into blk if it has room
                     if d.block(blk).next_program_page().is_some() {
-                        let (_, ppn) = d.program_next(blk, now);
+                        let (_, ppn) = d.program_next(blk, now, PageOob::gc(None)).unwrap();
                         live.push(ppn);
                     }
                 }
@@ -61,7 +61,7 @@ harness_proptest! {
                 _ => {
                     // erase blk if it has no valid pages
                     if d.block(blk).valid_count() == 0 && !d.block(blk).is_free() {
-                        d.erase(blk, now);
+                        d.erase(blk, now).unwrap();
                     }
                 }
             }
@@ -96,7 +96,7 @@ harness_proptest! {
             let die = g.die_of_block(blk) as usize;
             match kind {
                 0 if d.block(blk).next_program_page().is_some() => {
-                    let (r, ppn) = d.program_next(blk, 0);
+                    let (r, ppn) = d.program_next(blk, 0, PageOob::gc(None)).unwrap();
                     prop_assert!(r.start >= per_die_last[die] || r.start == per_die_last[die]);
                     prop_assert!(r.end > per_die_last[die]);
                     per_die_last[die] = r.end;
@@ -106,7 +106,7 @@ harness_proptest! {
                 1 if !written.is_empty() => {
                     let ppn = written[blksel as usize % written.len()];
                     let die = g.die_of(ppn) as usize;
-                    let r = d.read(ppn, 0);
+                    let r = d.read(ppn, 0).unwrap();
                     prop_assert!(r.end > per_die_last[die]);
                     per_die_last[die] = r.end;
                     reads += 1;
@@ -116,6 +116,82 @@ harness_proptest! {
         }
         prop_assert_eq!(d.stats().programs, programs);
         prop_assert_eq!(d.stats().reads, reads);
+    }
+
+    /// Under an arbitrary probabilistic fault mix, the device keeps its
+    /// story straight: every outcome is a success or a structured injected
+    /// fault, failed erases retire their block exactly once, retired
+    /// blocks reject all further work, and per-block page accounting
+    /// still balances after every step.
+    #[test]
+    fn fault_injection_preserves_device_accounting(
+        seed in 0u64..10_000,
+        p_prog in 0.0f64..0.4,
+        p_erase in 0.0f64..0.4,
+        p_read in 0.0f64..0.4,
+        ops in vec(0u8..3, 1..300),
+    ) {
+        let g = small_geometry();
+        let faults = FaultConfig {
+            program_fail_prob: p_prog,
+            erase_fail_prob: p_erase,
+            read_ecc_prob: p_read,
+            seed,
+            ..FaultConfig::none()
+        };
+        let mut d = FlashDevice::with_faults(g, Timing::ull(), faults);
+        let nblocks = g.total_blocks();
+        let mut live: Vec<u64> = Vec::new();
+        for (i, &op) in ops.iter().enumerate() {
+            let now = (i as u64 + 1) * 1_000;
+            let blk = (i as u32 * 5) % nblocks;
+            match op {
+                0 if !d.is_retired(blk) && d.block(blk).next_program_page().is_some() => {
+                    match d.program_next(blk, now, PageOob::gc(None)) {
+                        Ok((_, ppn)) => live.push(ppn),
+                        Err(FlashError::ProgramFailed { ppn, .. }) => {
+                            prop_assert_eq!(d.page_state(ppn), PageState::Invalid);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("program: {e}"))),
+                    }
+                }
+                1 if !live.is_empty() => {
+                    let ppn = live[i % live.len()];
+                    match d.read(ppn, now) {
+                        Ok(_) => {}
+                        Err(FlashError::ReadEcc { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("read: {e}"))),
+                    }
+                }
+                _ => {
+                    if !d.is_retired(blk) && d.block(blk).valid_count() == 0
+                        && !d.block(blk).is_free()
+                    {
+                        match d.erase(blk, now) {
+                            Ok(_) => {}
+                            Err(FlashError::EraseFailed { block, .. }) => {
+                                prop_assert!(d.is_retired(block));
+                                prop_assert_eq!(
+                                    d.program_next(block, now, PageOob::gc(None)),
+                                    Err(FlashError::Retired { block })
+                                );
+                            }
+                            Err(e) => return Err(TestCaseError::fail(format!("erase: {e}"))),
+                        }
+                    }
+                }
+            }
+            for b in 0..nblocks {
+                let blk = d.block(b);
+                prop_assert_eq!(
+                    blk.valid_count() + blk.invalid_count() + blk.free_count(),
+                    blk.pages()
+                );
+            }
+        }
+        let retired = d.retired_blocks().len() as u64;
+        prop_assert_eq!(d.stats().blocks_retired, retired);
+        prop_assert_eq!(d.stats().erase_failures, retired);
     }
 }
 
@@ -129,7 +205,7 @@ fn full_block_lifecycle_with_table1_timing() {
     let mut now = 0;
     let mut ppns = Vec::new();
     for _ in 0..ppb {
-        let (r, ppn) = d.program_next(0, now);
+        let (r, ppn) = d.program_next(0, now, PageOob::host(0, None)).unwrap();
         now = r.end;
         ppns.push(ppn);
     }
@@ -141,7 +217,7 @@ fn full_block_lifecycle_with_table1_timing() {
     for ppn in ppns {
         d.invalidate(ppn, now);
     }
-    let e = d.erase(0, now);
+    let e = d.erase(0, now).unwrap();
     assert_eq!(e.end - e.start, 1_500_000);
     assert_eq!(d.block(0).erase_count(), 1);
     assert_eq!(d.stats().erases, 1);

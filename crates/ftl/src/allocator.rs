@@ -57,6 +57,10 @@ pub struct Allocator {
     pages_per_block: u32,
     total_blocks: u32,
     gc_reserve: u32,
+    /// Blocks retired to the device's bad-block table (erase failures).
+    /// They never re-enter the free pool and shrink the usable device.
+    retired: Vec<bool>,
+    retired_count: u32,
 }
 
 impl Allocator {
@@ -97,7 +101,50 @@ impl Allocator {
             pages_per_block,
             total_blocks,
             gc_reserve,
+            retired: vec![false; total_blocks as usize],
+            retired_count: 0,
         }
+    }
+
+    /// Rebuild an allocator from post-crash durable facts: the free pool
+    /// is exactly `free_order` (already die-interleaved and filtered to
+    /// erased, non-retired blocks by the recovery pass), `retired` lists
+    /// the device's bad-block table, and every write frontier starts
+    /// closed — partially written blocks simply wait for GC.
+    ///
+    /// # Panics
+    /// Panics if a free block is also retired, or a block id is out of
+    /// range.
+    pub fn recovered(
+        total_blocks: u32,
+        pages_per_block: u32,
+        gc_reserve: u32,
+        free_order: Vec<BlockId>,
+        retired: &[BlockId],
+    ) -> Self {
+        let mut a = Self {
+            free: VecDeque::new(),
+            open: [None; Region::COUNT],
+            region_of: vec![None; total_blocks as usize],
+            pages_per_block,
+            total_blocks,
+            gc_reserve,
+            retired: vec![false; total_blocks as usize],
+            retired_count: 0,
+        };
+        for &b in retired {
+            assert!(b < total_blocks, "retired block {b} out of range");
+            a.retired[b as usize] = true;
+        }
+        a.retired_count = retired.len() as u32;
+        for &b in &free_order {
+            assert!(
+                b < total_blocks && !a.retired[b as usize],
+                "free block {b} invalid or retired"
+            );
+        }
+        a.free = free_order.into();
+        a
     }
 
     /// The canonical die-interleaved order: block `i` of die 0, block `i`
@@ -120,10 +167,13 @@ impl Allocator {
         self.free.len() as u32
     }
 
-    /// Free fraction of the device: free pool / total blocks. This is the
-    /// quantity compared against the GC watermark (Table I: 20 %).
+    /// Free fraction of the device: free pool / usable blocks. This is
+    /// the quantity compared against the GC watermark (Table I: 20 %).
+    /// Retired blocks leave the denominator — capacity the device lost is
+    /// not capacity GC can reclaim — so with no retirements this is
+    /// exactly free pool / total blocks.
     pub fn free_fraction(&self) -> f64 {
-        self.free.len() as f64 / self.total_blocks as f64
+        self.free.len() as f64 / self.usable_blocks() as f64
     }
 
     /// The region a block was opened under, if any. Blocks keep their tag
@@ -200,6 +250,45 @@ impl Allocator {
     /// The configured GC reserve.
     pub fn gc_reserve(&self) -> u32 {
         self.gc_reserve
+    }
+
+    /// Account a block retired to the device's bad-block table after an
+    /// erase failure: it never returns to the free pool and the usable
+    /// device shrinks by one block.
+    ///
+    /// # Panics
+    /// Panics if the block is an open frontier, still in the free pool
+    /// (retirement only happens to erase victims), or already retired.
+    pub fn retire(&mut self, block: BlockId) {
+        assert!(!self.is_open(block), "retiring open frontier block {block}");
+        assert!(!self.free.contains(&block), "retiring free block {block}");
+        assert!(
+            !std::mem::replace(&mut self.retired[block as usize], true),
+            "double retirement of block {block}"
+        );
+        self.region_of[block as usize] = None;
+        self.retired_count += 1;
+    }
+
+    /// Blocks retired so far.
+    pub fn retired_count(&self) -> u32 {
+        self.retired_count
+    }
+
+    /// Blocks still usable: total minus retired.
+    pub fn usable_blocks(&self) -> u32 {
+        self.total_blocks - self.retired_count
+    }
+
+    /// Close the open frontier of `region` (if any) without filling it:
+    /// the next allocation in that region rotates to a fresh block. The
+    /// program-failure retry policy calls this so the retry lands on a
+    /// different block — re-programming the next page of a block that
+    /// just failed a program is exactly what real FTLs avoid.
+    pub fn close_frontier(&mut self, region: Region) {
+        if let Some(o) = self.open[region.idx()].as_mut() {
+            o.used = self.pages_per_block;
+        }
     }
 }
 
@@ -299,5 +388,67 @@ mod tests {
     #[should_panic(expected = "no usable blocks")]
     fn absurd_reserve_rejected() {
         Allocator::new(4, 4, 3);
+    }
+
+    #[test]
+    fn retirement_shrinks_the_usable_device() {
+        let mut a = alloc(); // 16 blocks, reserve 2
+        let b0 = a.alloc_page(Region::Hot, false).unwrap();
+        for _ in 0..3 {
+            a.alloc_page(Region::Hot, false);
+        }
+        a.alloc_page(Region::Hot, false); // rotate so b0 is closed
+        assert_eq!(a.usable_blocks(), 16);
+        a.retire(b0);
+        assert_eq!(a.retired_count(), 1);
+        assert_eq!(a.usable_blocks(), 15);
+        assert_eq!(a.region_of(b0), None);
+        // free_fraction now divides by the shrunken device.
+        assert!((a.free_fraction() - a.free_blocks() as f64 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "double retirement")]
+    fn double_retirement_panics() {
+        let mut a = alloc();
+        let b0 = a.alloc_page(Region::Hot, false).unwrap();
+        for _ in 0..4 {
+            a.alloc_page(Region::Hot, false);
+        }
+        a.retire(b0);
+        a.retire(b0);
+    }
+
+    #[test]
+    fn close_frontier_forces_rotation() {
+        let mut a = alloc();
+        let b0 = a.alloc_page(Region::Host, false).unwrap();
+        assert!(a.is_open(b0));
+        a.close_frontier(Region::Host);
+        assert!(!a.is_open(b0), "closed frontier is no longer open");
+        let b1 = a.alloc_page(Region::Host, false).unwrap();
+        assert_ne!(b0, b1, "retry must land on a fresh block");
+        // Closing a region with no frontier is a no-op.
+        a.close_frontier(Region::Cold);
+    }
+
+    #[test]
+    fn recovered_allocator_starts_from_durable_facts() {
+        let a = Allocator::recovered(16, 4, 2, vec![5, 9, 1], &[3, 7]);
+        assert_eq!(a.free_blocks(), 3);
+        assert_eq!(a.retired_count(), 2);
+        assert_eq!(a.usable_blocks(), 14);
+        assert_eq!(a.region_of(5), None);
+        assert!(!a.is_open(5));
+        assert!((a.free_fraction() - 3.0 / 14.0).abs() < 1e-12);
+        let mut a = a;
+        // First allocation pops the recovered order.
+        assert_eq!(a.alloc_page(Region::Host, true), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid or retired")]
+    fn recovered_rejects_retired_free_blocks() {
+        Allocator::recovered(16, 4, 2, vec![3], &[3]);
     }
 }

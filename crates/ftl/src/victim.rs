@@ -37,6 +37,12 @@ pub struct VictimCandidate {
     /// invalid pages if collection is deferred — so among equally-invalid
     /// blocks, the one with more trimmed pages is the better victim.
     pub trimmed: u32,
+    /// Never-written pages stranded behind a closed write pointer. Zero in
+    /// fault-free operation (frontiers close only when full), but program
+    /// failures abandon suspect blocks mid-write and recovery re-closes
+    /// every frontier, and those pages come back only through an erase —
+    /// so they count toward the reclaim gain exactly like invalid ones.
+    pub stranded: u32,
     /// Pages per block (for utilization).
     pub pages: u32,
     /// Times the block has been erased.
@@ -125,12 +131,13 @@ impl VictimSelector {
             }
             VictimKind::Greedy => candidates
                 .iter()
-                // max invalid; ties: most trim garbage (stable — deferring
-                // a trim-heavy block gains nothing, while an overwrite-hot
-                // block grows more invalid pages by waiting), then
-                // least-worn, then lowest id (stable).
+                // max reclaim gain (invalid + stranded); ties: most trim
+                // garbage (stable — deferring a trim-heavy block gains
+                // nothing, while an overwrite-hot block grows more invalid
+                // pages by waiting), then least-worn, then lowest id
+                // (stable).
                 .min_by_key(|c| {
-                    (u32::MAX - c.invalid, u32::MAX - c.trimmed, c.erase_count, c.block)
+                    (u32::MAX - (c.invalid + c.stranded), u32::MAX - c.trimmed, c.erase_count, c.block)
                 })
                 .map(|c| c.block),
             VictimKind::CostBenefit => candidates
@@ -152,7 +159,7 @@ impl VictimSelector {
                 (0..d)
                     .map(|_| &candidates[self.rng.gen_range_usize(0..candidates.len())])
                     .min_by_key(|c| {
-                        (u32::MAX - c.invalid, u32::MAX - c.trimmed, c.erase_count, c.block)
+                        (u32::MAX - (c.invalid + c.stranded), u32::MAX - c.trimmed, c.erase_count, c.block)
                     })
                     .map(|c| c.block)
             }
@@ -182,6 +189,7 @@ mod tests {
             valid,
             invalid,
             trimmed: 0,
+            stranded: 0,
             pages: 64,
             erase_count: erases,
             last_modified: last,
@@ -246,6 +254,35 @@ mod tests {
         let mut s = VictimSelector::new(VictimKind::Greedy, 0);
         let cands = [cand(5, 10, 20, 7, 0), cand(3, 10, 20, 2, 0), cand(4, 10, 20, 2, 0)];
         assert_eq!(s.select(&cands, 0), Some(3)); // least worn, lowest id
+    }
+
+    #[test]
+    fn d_choices_breaks_ties_by_wear_like_greedy() {
+        // All candidates tie on invalid and trimmed counts; block 3 is the
+        // only low-wear block. D-choices samples with replacement, so block
+        // 3 is in the sample ~67 % of the time (1 − (4/5)^5) — and whenever
+        // it is, the wear tie-break must make it win. Far above the 20 %
+        // a wear-blind tie-break (uniform over the sample) would give.
+        let mut s = VictimSelector::new(VictimKind::DChoices, 13);
+        let cands: Vec<VictimCandidate> =
+            (0..5).map(|b| cand(b, 10, 20, if b == 3 { 1 } else { 9 }, 0)).collect();
+        let picks_of_3 =
+            (0..200).filter(|_| s.select(&cands, 0) == Some(3)).count();
+        assert!(
+            picks_of_3 > 100,
+            "least-worn block won only {picks_of_3}/200 tied selections"
+        );
+    }
+
+    #[test]
+    fn greedy_counts_stranded_pages_as_reclaim_gain() {
+        let mut s = VictimSelector::new(VictimKind::Greedy, 0);
+        // Block 1 was abandoned mid-write after a program failure: only 4
+        // invalid pages, but 40 stranded free ones behind the closed write
+        // pointer. Erasing it reclaims 44 pages — more than block 0's 30.
+        let abandoned = VictimCandidate { stranded: 40, ..cand(1, 20, 4, 0, 0) };
+        let cands = [cand(0, 34, 30, 0, 0), abandoned];
+        assert_eq!(s.select(&cands, 0), Some(1));
     }
 
     #[test]

@@ -89,6 +89,7 @@ harness_proptest! {
                 valid: (b * 7) % 64,
                 invalid: 64 - (b * 7) % 64,
                 trimmed: (b * 3) % (64 - (b * 7) % 64 + 1),
+                stranded: 0,
                 pages: 64,
                 erase_count: b % 5,
                 last_modified: (b as u64) * 1000,
@@ -110,6 +111,7 @@ harness_proptest! {
                 valid: 64 - (b.wrapping_mul(13) % 65),
                 invalid: b.wrapping_mul(13) % 65,
                 trimmed: b.wrapping_mul(5) % (b.wrapping_mul(13) % 65 + 1),
+                stranded: 0,
                 pages: 64,
                 erase_count: 0,
                 last_modified: 0,

@@ -22,4 +22,7 @@ cargo run --release --offline -p cagc-bench --bin repro -- fig9
 echo "== smoke: trim sensitivity (asserts honoring < ignoring) =="
 cargo run --release --offline --example trim_sensitivity -- --smoke
 
+echo "== smoke: fault sweep + power-loss recovery =="
+cargo run --release --offline --example fault_sweep -- --smoke
+
 echo "verify: OK"

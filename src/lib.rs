@@ -55,9 +55,11 @@ pub use cagc_workloads as workloads;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use cagc_core::{run_cell, run_cells, RunReport, Scheme, Ssd, SsdConfig};
+    pub use cagc_core::{
+        run_cell, run_cells, FaultReport, RecoveryReport, RunReport, Scheme, Ssd, SsdConfig,
+    };
     pub use cagc_dedup::{ContentId, Fingerprint, FingerprintIndex};
-    pub use cagc_flash::{FlashDevice, Geometry, Timing, UllConfig};
+    pub use cagc_flash::{FaultConfig, FlashDevice, FlashError, Geometry, Timing, UllConfig};
     pub use cagc_ftl::{VictimKind, Region};
     pub use cagc_metrics::{Cdf, Histogram};
     pub use cagc_workloads::{
