@@ -1,0 +1,43 @@
+//! Tracing overhead on the GC-cycle replay: the pay-as-you-go invariant,
+//! quantified (`BENCH_trace.json`, one sample checked into `results/`).
+//!
+//! Three modes over the same seeded GC-heavy CAGC replay: tracing
+//! disabled (the default no-op sink), sampled (every 64th host request's
+//! spans), and full. Disabled must sit within noise of a build that never
+//! heard of tracing; full pays for event pushes and gauge windowing.
+
+use cagc_core::{Scheme, Ssd, SsdConfig, TraceConfig};
+use cagc_harness::bench::Bench;
+use cagc_workloads::{FiuWorkload, Trace};
+
+fn gc_heavy_trace() -> Trace {
+    let flash = cagc_flash::UllConfig::tiny_for_tests();
+    FiuWorkload::Mail
+        .synth_config((flash.logical_pages() as f64 * 0.9) as u64, 6_000, 9)
+        .generate()
+}
+
+fn bench_trace_overhead(c: &mut Bench) {
+    let trace = gc_heavy_trace();
+    let mut g = c.benchmark_group("gc_cycle_replay_tracing");
+    g.sample_size(10);
+    let modes: [(&str, Option<TraceConfig>); 3] = [
+        ("disabled", None),
+        ("sampled_1_in_64", Some(TraceConfig { sample: 64, ..TraceConfig::default() })),
+        ("full", Some(TraceConfig::default())),
+    ];
+    for (label, cfg) in modes {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut ssd = Ssd::new(SsdConfig::tiny(Scheme::Cagc));
+                if let Some(cfg) = cfg.clone() {
+                    ssd.enable_tracing(cfg);
+                }
+                ssd.replay(&trace)
+            })
+        });
+    }
+    g.finish();
+}
+
+cagc_harness::harness_bench_main!(bench_trace_overhead);

@@ -1,17 +1,22 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N] CMD...
+//! repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N]
+//!       [--trace PATH] [--trace-sample N] [--smoke] CMD...
 //!
 //! CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13
 //!      ablate-placement ablate-overlap ablate-threshold ablate-watermark
 //!      compare-inline sweep-utilization sweep-trim sweep-faults wear
+//!      smoke      (one seeded GC-heavy CAGC replay; with --trace, emits
+//!                  a Chrome trace + JSONL event log — see docs/OBSERVABILITY.md)
 //!      all        (tables + every figure)
 //!      ablations  (every ablation and extension study)
 //! ```
 //!
 //! Text results go to stdout; CSV series are written under `--out`
-//! (default `results/`).
+//! (default `results/`). `--smoke` is shorthand for the `smoke` command;
+//! `--trace-sample N` records every Nth host request's spans (GC, fault
+//! and gauge activity is always recorded).
 
 use cagc_bench::experiments as exp;
 use cagc_bench::{Artifacts, Scale};
@@ -21,13 +26,50 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N] CMD...\n\
+        "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N]\n\
+         \x20            [--trace PATH] [--trace-sample N] [--smoke] CMD...\n\
          CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13\n\
          \x20    ablate-placement ablate-overlap ablate-threshold ablate-watermark ablate-idle-gc\n\
          \x20    compare-inline sweep-utilization sweep-trim sweep-faults wear\n\
-         \x20    all | ablations"
+         \x20    smoke | all | ablations"
     );
     std::process::exit(2);
+}
+
+/// The `smoke` command: one seeded, GC-heavy CAGC replay on the tiny
+/// device. With `--trace` it emits the two deterministic trace artifacts
+/// (Chrome trace-event JSON at `path`, JSONL next to it) and proves the
+/// Chrome document round-trips through the harness JSON parser before
+/// anything touches disk.
+fn smoke(scale: &Scale, trace_out: Option<&std::path::Path>, sample: u64) {
+    use cagc_core::{Scheme, Ssd, SsdConfig, TraceConfig};
+    use cagc_workloads::FiuWorkload;
+
+    let flash = cagc_flash::UllConfig::tiny_for_tests();
+    let trace = FiuWorkload::Mail
+        .synth_config((flash.logical_pages() as f64 * 0.9) as u64, 6_000, scale.seed)
+        .generate();
+    let mut ssd = Ssd::new(SsdConfig::tiny(Scheme::Cagc));
+    if trace_out.is_some() {
+        ssd.enable_tracing(TraceConfig { sample, ..TraceConfig::default() });
+    }
+    let report = ssd.replay(&trace);
+    println!("{}", report.render());
+    if let Some(path) = trace_out {
+        let chrome = ssd.chrome_trace().render();
+        let parsed = cagc_harness::Json::parse(&chrome).expect("emitted trace must parse");
+        assert_eq!(parsed.render(), chrome, "harness parser round-trip");
+        std::fs::write(path, &chrome).expect("write Chrome trace");
+        let jsonl_path = path.with_extension("jsonl");
+        std::fs::write(&jsonl_path, ssd.trace_jsonl()).expect("write JSONL log");
+        println!(
+            "  trace: {} events recorded, {} dropped, parser round-trip OK",
+            ssd.tracer().events().len(),
+            ssd.tracer().dropped_events()
+        );
+        println!("  -> {}", path.display());
+        println!("  -> {}", jsonl_path.display());
+    }
 }
 
 fn main() {
@@ -35,9 +77,21 @@ fn main() {
     let mut scale = Scale::default_scale();
     let mut out_dir = PathBuf::from("results");
     let mut cmds: Vec<String> = Vec::new();
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_sample: u64 = 1;
 
     while let Some(a) = args.pop_front() {
         match a.as_str() {
+            "--trace" => {
+                trace_out = Some(PathBuf::from(args.pop_front().unwrap_or_else(|| usage())))
+            }
+            "--trace-sample" => {
+                trace_sample = args
+                    .pop_front()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--smoke" => cmds.push("smoke".to_string()),
             "--scale" => match args.pop_front().as_deref() {
                 Some("quick") => scale = Scale::quick(),
                 Some("default") => scale = Scale::default_scale(),
@@ -108,6 +162,11 @@ fn main() {
 
     for cmd in &expanded {
         let t = Instant::now();
+        if cmd == "smoke" {
+            smoke(&scale, trace_out.as_deref(), trace_sample);
+            println!("  [smoke in {:.1?}]\n", t.elapsed());
+            continue;
+        }
         let art: Artifacts = match cmd.as_str() {
             "table1" => exp::table1(&scale),
             "table2" => exp::table2(&scale),

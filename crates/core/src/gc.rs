@@ -21,9 +21,10 @@ use cagc_dedup::Fingerprint;
 use cagc_flash::{BlockId, FlashError, JournalOp, PageOob, PageState, Ppn};
 use cagc_ftl::{Region, VictimCandidate};
 use cagc_sim::time::Nanos;
+use cagc_trace::Track;
 
 use crate::config::Scheme;
-use crate::ssd::{fp_stamp, Ssd};
+use crate::ssd::{fp_stamp, Ssd, TraceCtx};
 
 impl Ssd {
     /// Run GC if the free-space watermark demands it. Returns when the
@@ -38,6 +39,13 @@ impl Ssd {
             return Ok(now);
         }
         self.gc_stats.invocations += 1;
+        // GC is always traced (sampling applies to host ops only); the
+        // context renames die spans to migrate_read/migrate_write and is
+        // restored on exit so a sampled host request resumes its own spans.
+        let prev_ctx = self.tctx;
+        if self.tracer.is_enabled() {
+            self.tctx = TraceCtx::Gc;
+        }
         // `cursor` is when the next victim's migration may start;
         // `round_end` tracks the last erase completion. Migration of victim
         // k+1 overlaps the erase of victim k (Sec. III-B parallelism) —
@@ -48,12 +56,21 @@ impl Ssd {
         let mut round_end = now;
         let mut victims = 0u32;
         let mut stalls = 0u32;
+        let mut outcome = Ok(());
         while victims < self.cfg.gc_victims_per_trigger
             && self.trigger.should_start(self.alloc.free_fraction())
         {
             let Some(victim) = self.select_victim(cursor) else { break };
             let free_before = self.alloc.free_blocks();
-            let (migrated_done, erase_end) = self.collect_victim(victim, cursor)?;
+            let (migrated_done, erase_end) = match self.collect_victim(victim, cursor) {
+                Ok(v) => v,
+                Err(e) => {
+                    // Restore the trace context before propagating (a
+                    // mid-GC power loss lands in `Ssd::recover`).
+                    outcome = Err(e);
+                    break;
+                }
+            };
             victims += 1;
             cursor = migrated_done;
             round_end = round_end.max(erase_end);
@@ -69,6 +86,17 @@ impl Ssd {
             } else {
                 stalls = 0;
             }
+        }
+        self.tctx = prev_ctx;
+        outcome?;
+        if victims > 0 {
+            self.tracer.span(
+                Track::Gc,
+                "gc_round",
+                now,
+                round_end,
+                &[("victims", u64::from(victims))],
+            );
         }
         self.gc_stats.busy_ns += round_end.saturating_sub(now);
         self.gc_active_until = self.gc_active_until.max(round_end);
@@ -116,7 +144,15 @@ impl Ssd {
     pub(crate) fn force_gc_inner(&mut self, now: Nanos) -> Result<Nanos, FlashError> {
         let Some(victim) = self.select_victim(now) else { return Ok(now) };
         self.gc_stats.invocations += 1;
-        let (_, erase_end) = self.collect_victim(victim, now)?;
+        let prev_ctx = self.tctx;
+        if self.tracer.is_enabled() {
+            self.tctx = TraceCtx::Gc;
+        }
+        let result = self.collect_victim(victim, now);
+        self.tctx = prev_ctx;
+        let (_, erase_end) = result?;
+        self.tracer
+            .span(Track::Gc, "gc_round", now, erase_end, &[("victims", 1)]);
         self.gc_stats.busy_ns += erase_end.saturating_sub(now);
         self.gc_active_until = self.gc_active_until.max(erase_end);
         Ok(erase_end)
@@ -151,7 +187,31 @@ impl Ssd {
                 last_modified: blk.last_modified(),
             });
         }
-        self.selector.select(&candidates, now)
+        let chosen = self.selector.select(&candidates, now);
+        if self.tracer.is_enabled() {
+            // The candidate walk just paid for the O(blocks) scan, so the
+            // stranded-pages gauge comes for free here.
+            let stranded: u64 = candidates.iter().map(|c| u64::from(c.stranded)).sum();
+            self.tracer.gauge("stranded_pages", now, stranded);
+            if let Some(block) = chosen {
+                let c = candidates
+                    .iter()
+                    .find(|c| c.block == block)
+                    .expect("selected victim must be a candidate");
+                self.tracer.instant(
+                    Track::Gc,
+                    "victim_select",
+                    now,
+                    &[
+                        ("block", u64::from(block)),
+                        ("valid", u64::from(c.valid)),
+                        ("invalid", u64::from(c.invalid)),
+                        ("candidates", candidates.len() as u64),
+                    ],
+                );
+            }
+        }
+        chosen
     }
 
     /// Collect one victim. Returns `(migration_done, erase_end)`:
@@ -177,11 +237,30 @@ impl Ssd {
         self.gc_stats.trim_reclaimed_pages += self.dev.block(victim).trimmed_count() as u64;
         let erase_end = match self.dev.erase(victim, done) {
             Ok(r) => {
+                if self.tracer.is_enabled() {
+                    let track = Track::Die {
+                        channel: geom.die_of_block(victim) / geom.dies_per_channel,
+                        die: geom.die_of_block(victim),
+                    };
+                    self.tracer.span(
+                        track,
+                        "erase",
+                        r.start,
+                        r.end,
+                        &[("block", u64::from(victim)), ("queued_ns", r.queued)],
+                    );
+                }
                 self.alloc.release(victim);
                 self.gc_stats.blocks_erased += 1;
                 r.end
             }
             Err(FlashError::EraseFailed { at, .. }) => {
+                self.tracer.instant(
+                    Track::Fault,
+                    "erase_failed_retired",
+                    at,
+                    &[("block", u64::from(victim))],
+                );
                 // The device already moved the block to its bad-block
                 // table; mirror the retirement in the allocator so the
                 // block leaves the frontier/victim pool for good. Every
@@ -235,6 +314,8 @@ impl Ssd {
             // engine runs beside the dies; the ablation serializes the
             // pipeline by stalling the next read until the hash finishes.
             let h = self.hash.hash_page(read_end);
+            self.tracer
+                .span(Track::Hash, "fingerprint", h.start, h.end, &[("ppn", ppn)]);
             if !self.cfg.overlap_hash {
                 read_ready = h.end;
             }
@@ -247,6 +328,12 @@ impl Ssd {
                     // Redundant page: the content already has a stored copy
                     // elsewhere. Absorb all sharers — no flash write.
                     self.gc_stats.dedup_hits += 1;
+                    self.tracer.instant(
+                        Track::Gc,
+                        "dedup_drop",
+                        decided,
+                        &[("from", ppn), ("to", entry.ppn), ("refs", u64::from(entry.refs))],
+                    );
                     self.absorb_into(ppn, entry.ppn, &fp, decided)?
                 }
                 Some(entry) => {

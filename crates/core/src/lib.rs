@@ -39,3 +39,7 @@ pub use parallel::{run_cell, run_cells};
 pub use recovery::RecoveryReport;
 pub use report::{FaultReport, LatencySummary, RunReport};
 pub use ssd::Ssd;
+
+// Tracing entry points, re-exported so callers enabling tracing on an
+// [`Ssd`] don't need a direct cagc-trace dependency.
+pub use cagc_trace::{TelemetryReport, TraceConfig, Tracer};

@@ -34,8 +34,10 @@ use cagc_ftl::{Allocator, GcTrigger, MappingTable, ReverseMap};
 use cagc_harness::{Json, ToJson};
 use cagc_sim::time::Nanos;
 
+use cagc_trace::Track;
+
 use crate::config::Scheme;
-use crate::ssd::{fp_stamp, Ssd, NO_CONTENT};
+use crate::ssd::{fp_stamp, Ssd, TraceCtx, NO_CONTENT};
 
 /// What one [`Ssd::recover`] pass scanned and rebuilt.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -270,6 +272,28 @@ impl Ssd {
         let recovery_ns = pages_scanned * self.cfg.flash.timing().read_service()
             + fingerprints_rebuilt * self.cfg.flash.hash_ns;
         self.fh.recoveries += 1;
+        // The crash may have torn a traced request mid-flight; drop the
+        // stale context and record the rebuild as one fault-track span
+        // anchored at the last acknowledged completion.
+        self.tctx = TraceCtx::Off;
+        self.tracer.instant(
+            Track::Fault,
+            "power_loss",
+            self.last_completion(),
+            &[("journal_entries", journal_entries)],
+        );
+        self.tracer.span(
+            Track::Fault,
+            "recover",
+            self.last_completion(),
+            self.last_completion() + recovery_ns,
+            &[
+                ("pages_scanned", pages_scanned),
+                ("mappings_recovered", mappings_recovered),
+                ("fingerprints_rebuilt", fingerprints_rebuilt),
+                ("duplicate_copies_merged", duplicate_copies_merged),
+            ],
+        );
         let report = RecoveryReport {
             pages_scanned,
             journal_entries,

@@ -5,6 +5,7 @@ use cagc_ftl::GcStats;
 use cagc_harness::{Json, ToJson};
 use cagc_metrics::{Cdf, Histogram};
 use cagc_sim::time::{fmt_duration, Nanos};
+use cagc_trace::TelemetryReport;
 
 use crate::recovery::RecoveryReport;
 
@@ -208,6 +209,10 @@ pub struct RunReport {
     pub faults: FaultReport,
     /// The most recent power-loss recovery pass, if one ran.
     pub recovery: Option<RecoveryReport>,
+    /// Tracing summary (event/drop counts, gauge windows). `None` unless
+    /// tracing was enabled, and then omitted from JSON and rendering —
+    /// the same pay-as-you-go gating as the fault section.
+    pub telemetry: Option<TelemetryReport>,
     /// When the last request completed.
     pub end_ns: Nanos,
 }
@@ -323,6 +328,15 @@ impl RunReport {
                 ));
             }
         }
+        if let Some(t) = &self.telemetry {
+            out.push('\n');
+            for line in t.render().lines() {
+                out.push_str("\x20 ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.pop(); // drop the trailing newline to match sibling sections
+        }
         out
     }
 }
@@ -409,6 +423,10 @@ impl ToJson for RunReport {
                 fields.push(("recovery", r.to_json()));
             }
         }
+        // Same gating for telemetry: only traced runs carry the section.
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry", t.to_json()));
+        }
         Json::obj(fields)
     }
 }
@@ -461,6 +479,7 @@ mod tests {
             die_utilization: (0.0, 0.0, 0.0),
             faults: FaultReport::default(),
             recovery: None,
+            telemetry: None,
             end_ns: 0,
         };
         assert_eq!(r.waf(), 0.0);
@@ -472,5 +491,17 @@ mod tests {
         noisy.faults.program_failures = 1;
         assert!(noisy.render().contains("faults"));
         assert!(noisy.to_json().render().contains("\"faults\""));
+        // Untraced runs carry no telemetry section; traced runs do.
+        assert!(!r.to_json().render().contains("telemetry"));
+        let mut traced = r.clone();
+        traced.telemetry = Some(TelemetryReport {
+            events_recorded: 4,
+            dropped_events: 0,
+            sample: 1,
+            gauge_window_ns: 1_000,
+            gauges: Vec::new(),
+        });
+        assert!(traced.to_json().render().contains("\"telemetry\""));
+        assert!(traced.render().contains("telemetry: 4 events recorded"));
     }
 }

@@ -26,6 +26,7 @@ use cagc_ftl::{
 };
 use cagc_metrics::{Cdf, Histogram};
 use cagc_sim::time::Nanos;
+use cagc_trace::{TraceConfig, Tracer, Track};
 use cagc_workloads::{OpKind, Request, Trace};
 
 use crate::config::{Scheme, SsdConfig};
@@ -52,6 +53,23 @@ pub(crate) enum ReleaseCause {
     Overwrite,
     /// The host deallocated the logical page.
     Trim,
+}
+
+/// What the currently-executing flash operation is doing *for*, so the
+/// shared read/program helpers can name their die spans correctly
+/// ("read" vs. "migrate_read", "program" vs. "migrate_write").
+///
+/// `Off` both when tracing is disabled and for host requests the sampler
+/// skipped; GC always traces ([`cagc_trace::TraceConfig::sample`] applies
+/// to host operations only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TraceCtx {
+    /// Don't emit die spans for this operation.
+    Off,
+    /// A sampled host request is on the critical path.
+    Host,
+    /// A GC round is migrating pages.
+    Gc,
 }
 
 /// FTL-side fault-handling counters (all zero on fault-free runs).
@@ -116,6 +134,10 @@ pub struct Ssd {
     acknowledged: u64,
     /// Report of the most recent power-loss recovery pass, if any.
     pub(crate) last_recovery: Option<RecoveryReport>,
+    /// Trace sink (disabled no-op by default; see [`Ssd::enable_tracing`]).
+    pub(crate) tracer: Tracer,
+    /// What the current flash operation is being issued for (span naming).
+    pub(crate) tctx: TraceCtx,
     end_ns: Nanos,
 }
 
@@ -159,6 +181,8 @@ impl Ssd {
             fh: FaultHandling::default(),
             acknowledged: 0,
             last_recovery: None,
+            tracer: Tracer::disabled(),
+            tctx: TraceCtx::Off,
             end_ns: 0,
             dev,
             cfg,
@@ -190,6 +214,33 @@ impl Ssd {
         self.end_ns
     }
 
+    /// Turn on structured tracing for this SSD. Spans and instants are
+    /// recorded in simulated nanoseconds from here on; call before the
+    /// replay to capture the whole run. Disabled by default — and the
+    /// disabled sink is a strict no-op, so untraced runs stay
+    /// byte-identical to builds without the tracing layer.
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        self.tracer = Tracer::enabled(cfg);
+    }
+
+    /// The trace sink (events, gauges, drop counter).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Chrome trace-event document for the recording: `pid = channel`,
+    /// `tid = die`, plus a synthetic "ftl" process carrying the
+    /// host/gc/hash/fault tracks and the gauge counters. Load the rendered
+    /// JSON in Perfetto or `chrome://tracing`.
+    pub fn chrome_trace(&self) -> cagc_harness::Json {
+        cagc_trace::chrome_trace(&self.tracer, self.cfg.flash.geometry().channels)
+    }
+
+    /// JSONL event log of the recording (one JSON object per line).
+    pub fn trace_jsonl(&self) -> String {
+        cagc_trace::jsonl(&self.tracer)
+    }
+
     /// Process one request arriving at its timestamp; returns its
     /// completion time. Requests must be fed in nondecreasing time order
     /// (as [`Trace`] guarantees).
@@ -219,6 +270,12 @@ impl Ssd {
             return Err(FlashError::PowerLoss);
         }
         let at = req.at_ns;
+        // One branch when tracing is disabled (always false); when enabled,
+        // a deterministic every-nth pick of host requests to trace.
+        let sampled = self.tracer.sample_host_op();
+        if sampled {
+            self.tctx = TraceCtx::Host;
+        }
         self.maybe_idle_gc(at)?;
         let completion = match req.kind {
             OpKind::Read => {
@@ -268,6 +325,22 @@ impl Ssd {
                 at + self.cfg.trim_ns
             }
         };
+        if sampled {
+            self.tctx = TraceCtx::Off;
+            let name = match req.kind {
+                OpKind::Read => "read",
+                OpKind::Write => "write",
+                OpKind::Trim => "trim",
+            };
+            self.tracer.span(
+                Track::Host,
+                name,
+                at,
+                completion,
+                &[("lpn", req.lpn), ("pages", u64::from(req.pages))],
+            );
+            self.sample_gauges(completion);
+        }
         let latency = completion - at;
         self.lat_all.record(latency);
         if at <= self.gc_active_until {
@@ -379,6 +452,7 @@ impl Ssd {
             die_utilization: self.die_utilization(),
             faults: self.fault_report(),
             recovery: self.last_recovery.clone(),
+            telemetry: self.tracer.report(),
             end_ns: self.end_ns,
         }
     }
@@ -396,6 +470,44 @@ impl Ssd {
         let min = fracs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = fracs.iter().cloned().fold(0.0f64, f64::max);
         (if min.is_finite() { min } else { 0.0 }, max, mean)
+    }
+
+    /// Sample the telemetry gauges at `now`. Called once per *sampled*
+    /// host request (so `--trace-sample` thins gauge traffic along with
+    /// host spans); GC adds the O(blocks) `stranded_pages` gauge from its
+    /// own victim scan, where the walk is already paid for.
+    fn sample_gauges(&mut self, now: Nanos) {
+        self.tracer.gauge("free_pages", now, self.alloc.free_pages());
+        if let Some(waf) = (self.dev.stats().programs * 1000).checked_div(self.host_pages_written) {
+            self.tracer.gauge("waf_milli", now, waf);
+        }
+        let idx = self.index.stats();
+        if let Some(rate) = (idx.hits * 1000).checked_div(idx.lookups) {
+            self.tracer.gauge("dedup_hit_rate_milli", now, rate);
+        }
+        self.tracer.gauge("retired_blocks", now, u64::from(self.alloc.retired_count()));
+    }
+
+    /// Emit a die-track span for a completed flash operation, named by the
+    /// current [`TraceCtx`]. `host_name`/`gc_name` distinguish foreground
+    /// I/O from GC migration on the same die timeline.
+    fn trace_die_span(
+        &mut self,
+        ppn: Ppn,
+        host_name: &'static str,
+        gc_name: &'static str,
+        start: Nanos,
+        end: Nanos,
+        queued: Nanos,
+    ) {
+        let name = match self.tctx {
+            TraceCtx::Off => return,
+            TraceCtx::Host => host_name,
+            TraceCtx::Gc => gc_name,
+        };
+        let geom = self.dev.geometry();
+        let track = Track::Die { channel: geom.channel_of(ppn), die: geom.die_of(ppn) };
+        self.tracer.span(track, name, start, end, &[("ppn", ppn), ("queued_ns", queued)]);
     }
 
     // ---------------- page-level foreground operations ----------------
@@ -418,14 +530,30 @@ impl Ssd {
         let mut attempts = 0;
         loop {
             match self.dev.read(ppn, at) {
-                Ok(r) => return Ok(r.end),
+                Ok(r) => {
+                    self.trace_die_span(ppn, "read", "migrate_read", r.start, r.end, r.queued);
+                    return Ok(r.end);
+                }
                 Err(FlashError::ReadEcc { at: failed_at, .. }) => {
                     at = failed_at;
                     if attempts < self.cfg.max_read_retries {
                         attempts += 1;
                         self.fh.read_retries += 1;
+                        self.tracer.instant(
+                            Track::Fault,
+                            "read_ecc_retry",
+                            at,
+                            &[("ppn", ppn), ("attempt", attempts as u64)],
+                        );
                     } else {
                         self.fh.ecc_decodes += 1;
+                        self.tracer.span(
+                            Track::Fault,
+                            "ecc_decode",
+                            at,
+                            at + self.cfg.ecc_decode_ns,
+                            &[("ppn", ppn)],
+                        );
                         return Ok(at + self.cfg.ecc_decode_ns);
                     }
                 }
@@ -497,6 +625,9 @@ impl Ssd {
         ready: Nanos,
     ) -> Result<Nanos, FlashError> {
         let h = self.hash.hash_page(ready);
+        if self.tctx == TraceCtx::Host {
+            self.tracer.span(Track::Hash, "hash", h.start, h.end, &[("lpn", lpn)]);
+        }
         let decided = h.end + self.cfg.lookup_ns;
         let fp = Fingerprint::of_content(content);
         match self.index.lookup(&fp) {
@@ -604,12 +735,25 @@ impl Ssd {
                 Ok((r, ppn)) => {
                     if forced {
                         self.fh.forced_programs += 1;
+                        self.tracer.instant(
+                            Track::Fault,
+                            "forced_program",
+                            r.end,
+                            &[("ppn", ppn), ("retries", retries as u64)],
+                        );
                     }
+                    self.trace_die_span(ppn, "program", "migrate_write", r.start, r.end, r.queued);
                     return Ok((r.end, ppn));
                 }
-                Err(FlashError::ProgramFailed { at, .. }) => {
+                Err(FlashError::ProgramFailed { at, ppn }) => {
                     self.fh.program_retries += 1;
                     retries += 1;
+                    self.tracer.instant(
+                        Track::Fault,
+                        "program_retry",
+                        at,
+                        &[("ppn", ppn), ("attempt", retries as u64)],
+                    );
                     // The host path abandons the suspect block (it drains
                     // to GC) and retries on a fresh one. The GC path must
                     // NOT: closing a frontier strands the block's free

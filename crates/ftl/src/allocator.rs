@@ -167,6 +167,21 @@ impl Allocator {
         self.free.len() as u32
     }
 
+    /// Programmable pages still available right now: every page of the
+    /// free pool plus the unwritten tail of each open frontier. This is
+    /// the "free pages" gauge the telemetry layer samples — unlike
+    /// [`Allocator::free_fraction`] it moves on every single program, so
+    /// a trace shows GC rounds as sawtooth refills.
+    pub fn free_pages(&self) -> u64 {
+        let frontier_tail: u64 = self
+            .open
+            .iter()
+            .flatten()
+            .map(|o| u64::from(self.pages_per_block - o.used))
+            .sum();
+        self.free.len() as u64 * u64::from(self.pages_per_block) + frontier_tail
+    }
+
     /// Free fraction of the device: free pool / usable blocks. This is
     /// the quantity compared against the GC watermark (Table I: 20 %).
     /// Retired blocks leave the denominator — capacity the device lost is
@@ -313,6 +328,18 @@ mod tests {
         assert!(a.is_open(b1));
         assert!(!a.is_open(b0));
         assert_eq!(a.region_of(b0), Some(Region::Hot));
+    }
+
+    #[test]
+    fn free_pages_counts_pool_and_frontier_tails() {
+        let mut a = alloc();
+        assert_eq!(a.free_pages(), 16 * 4);
+        // Opening a frontier moves its block out of the pool but its
+        // unwritten pages still count.
+        a.alloc_page(Region::Hot, false).unwrap();
+        assert_eq!(a.free_pages(), 16 * 4 - 1);
+        a.alloc_page(Region::Hot, false).unwrap();
+        assert_eq!(a.free_pages(), 16 * 4 - 2);
     }
 
     #[test]

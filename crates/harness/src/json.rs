@@ -32,6 +32,23 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where the failure was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 impl Json {
     /// Build an object from `(key, value)` pairs, preserving order.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
@@ -48,6 +65,25 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out);
         out
+    }
+
+    /// Parse a JSON document (the inverse of [`Json::render`]).
+    ///
+    /// Accepts any standard JSON text. Integers without a fraction,
+    /// exponent, or overflow parse to [`Json::U64`] / [`Json::I64`];
+    /// everything else numeric becomes [`Json::F64`]. Object key order is
+    /// kept as written, so `parse(render(x)) == x` for trees the
+    /// serializer can emit (non-finite floats excluded — they render as
+    /// `null`).
+    pub fn parse(input: &str) -> Result<Json, ParseError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
     }
 
     fn write(&self, out: &mut String) {
@@ -110,6 +146,241 @@ fn write_escaped(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+/// Recursive-descent parser over the raw input bytes. JSON's grammar is
+/// LL(1), so one byte of lookahead (`peek`) is all the machinery needed.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let code =
+                                        0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(code)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    if b < 0x20 {
+                        return Err(self.err("unescaped control character in string"));
+                    }
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. The input is a
+                    // &str and `pos` only ever advances by whole scalars, so
+                    // the leading byte gives the sequence length directly.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("bad utf-8")),
+                    };
+                    let end = self.pos + len;
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.err("bad utf-8"))?;
+                    out.push(s.chars().next().unwrap());
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.err("expected digit"));
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        // The scan above is permissive; `str::parse` below enforces the
+        // exact numeric grammar and rejects shapes like `1.2.3`.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !fractional {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Json::F64(x)),
+            Err(_) => {
+                self.pos = start;
+                Err(self.err("invalid number"))
+            }
+        }
+    }
 }
 
 /// Conversion into a [`Json`] tree — the hand-written replacement for
@@ -247,6 +518,68 @@ mod tests {
         assert_eq!(Some("x").to_json().render(), "\"x\"");
         assert_eq!(Option::<u64>::None.to_json().render(), "null");
         assert_eq!(Json::arr(["a", "b"]).render(), r#"["a","b"]"#);
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let j = Json::obj([
+            ("name", Json::Str("fig9 µs\n\"quoted\"".into())),
+            ("erases", Json::U64(u64::MAX)),
+            ("delta", Json::I64(-17)),
+            ("ratio", Json::F64(0.134)),
+            ("flag", Json::Bool(false)),
+            ("none", Json::Null),
+            (
+                "series",
+                Json::Arr(vec![Json::U64(1), Json::F64(2.5), Json::Str("x".into())]),
+            ),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let text = j.render();
+        let back = Json::parse(&text).expect("round-trip parse");
+        assert_eq!(back, j);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let j = Json::parse(" { \"a\" : [ 1 ,\t-2, 3.5e2 ] ,\n \"b\" : \"\\u0041\\ud83d\\ude00\" } ")
+            .unwrap();
+        assert_eq!(
+            j,
+            Json::Obj(vec![
+                (
+                    "a".into(),
+                    Json::Arr(vec![Json::U64(1), Json::I64(-2), Json::F64(350.0)])
+                ),
+                ("b".into(), Json::Str("A😀".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(Json::parse("0").unwrap(), Json::U64(0));
+        assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::U64(u64::MAX));
+        assert_eq!(Json::parse("-9223372036854775808").unwrap(), Json::I64(i64::MIN));
+        assert_eq!(Json::parse("1.0").unwrap(), Json::F64(1.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+        // Magnitudes past the integer types degrade to f64 rather than fail.
+        assert!(matches!(Json::parse("18446744073709551616").unwrap(), Json::F64(_)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "tru", "[1,", "{\"a\":}", "{\"a\" 1}", "\"open", "01x", "1.2.3",
+            "[1] trailing", "{\"a\":1,}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "expected parse failure for {bad:?}");
+        }
+        let err = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
     }
 
     #[test]

@@ -83,6 +83,23 @@ impl TimeSeries {
             .collect()
     }
 
+    /// Dump the non-empty windows as CSV (`start_ns,count,mean,max` header
+    /// included). Floats use the harness's shortest-round-trip formatting,
+    /// so the output is byte-deterministic for a given series.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("start_ns,count,mean,max\n");
+        for w in self.windows() {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                w.start_ns,
+                w.count,
+                Json::F64(w.mean).render(),
+                w.max
+            ));
+        }
+        out
+    }
+
     /// ASCII sparkline of per-window means (log-scaled), for terminal
     /// diagnostics. Empty windows render as spaces.
     pub fn sparkline(&self, width: usize) -> String {
@@ -120,6 +137,20 @@ impl TimeSeries {
                 }
             })
             .collect()
+    }
+}
+
+impl ToJson for TimeSeries {
+    /// `{"window_ns":…,"windows":[…]}` with empty windows skipped — the
+    /// JSON twin of [`TimeSeries::to_csv`].
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("window_ns", Json::U64(self.window_ns)),
+            (
+                "windows",
+                Json::Arr(self.windows().iter().map(ToJson::to_json).collect()),
+            ),
+        ])
     }
 }
 
@@ -182,6 +213,29 @@ mod tests {
             ts.windows()[0].to_json().render(),
             r#"{"start_ns":0,"count":2,"mean":20,"max":30}"#
         );
+    }
+
+    #[test]
+    fn csv_and_json_dumps_agree_with_windows() {
+        let mut ts = TimeSeries::new(1_000);
+        ts.record(100, 10);
+        ts.record(900, 30);
+        ts.record(2_500, 7);
+        assert_eq!(
+            ts.to_csv(),
+            "start_ns,count,mean,max\n0,2,20,30\n2000,1,7,7\n"
+        );
+        assert_eq!(
+            ts.to_json().render(),
+            r#"{"window_ns":1000,"windows":[{"start_ns":0,"count":2,"mean":20,"max":30},{"start_ns":2000,"count":1,"mean":7,"max":7}]}"#
+        );
+    }
+
+    #[test]
+    fn empty_series_dumps_header_only() {
+        let ts = TimeSeries::new(10);
+        assert_eq!(ts.to_csv(), "start_ns,count,mean,max\n");
+        assert_eq!(ts.to_json().render(), r#"{"window_ns":10,"windows":[]}"#);
     }
 
     #[test]

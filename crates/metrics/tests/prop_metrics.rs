@@ -1,7 +1,9 @@
 //! Property-based tests for the metrics substrate.
 
-use cagc_metrics::{Cdf, Histogram, Summary};
 use cagc_harness::prop::*;
+use cagc_harness::{Json, ToJson};
+use cagc_metrics::{Cdf, Histogram, Summary, TimeSeries};
+use cagc_sim::SimRng;
 
 harness_proptest! {
     /// The histogram's count/mean/min/max are exact for any input.
@@ -92,6 +94,88 @@ harness_proptest! {
         for p in pts {
             prop_assert!(p.fraction > 0.0 && p.fraction <= 1.0 + 1e-12);
         }
+    }
+
+    /// The documented worst-case quantile error of the log-bucket design
+    /// (one part in 32, ≈3.2 %) holds for SimRng-generated value sets
+    /// spread across every bucket tier the simulator can produce.
+    #[test]
+    fn histogram_quantile_error_bound_holds_for_simrng_values(seed in any::<u64>(),
+                                                             n in 16usize..400) {
+        let mut rng = SimRng::for_stream(seed, "hist-error-bound");
+        let mut h = Histogram::new();
+        // Log-uniform draws: pick a tier, then a value inside it, so tiny
+        // (exact) buckets and wide high-tier buckets are both exercised.
+        let mut sorted: Vec<u64> = (0..n)
+            .map(|_| {
+                let bits = rng.gen_range_u64(0..40);
+                let base = 1u64 << bits;
+                base + rng.gen_range_u64(0..base)
+            })
+            .collect();
+        for &v in &sorted {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = sorted[target - 1];
+            let approx = h.quantile(q);
+            // quantile() reports the upper edge of the bucket holding the
+            // target-th sample: never below the sample, and above it by at
+            // most the bucket's relative width (1/32 beyond tier 0).
+            prop_assert!(approx >= exact,
+                "q={q}: approx {approx} below exact {exact}");
+            prop_assert!(approx as f64 <= exact as f64 * (1.0 + 1.0 / 32.0) + 1.0,
+                "q={q}: approx {approx} violates the 3.2% bound vs exact {exact}");
+        }
+    }
+
+    /// A sample stamped exactly on a window boundary lands in the window
+    /// that *starts* there, never the one that ends there.
+    #[test]
+    fn window_boundary_sample_lands_in_starting_window(k in 0u64..1_000,
+                                                       width in 1u64..100_000,
+                                                       value in 0u64..1_000_000) {
+        let mut ts = TimeSeries::new(width);
+        ts.record(k * width, value);
+        let w = ts.windows();
+        prop_assert_eq!(w.len(), 1);
+        prop_assert_eq!(w[0].start_ns, k * width);
+        prop_assert_eq!(w[0].count, 1);
+    }
+
+    /// A single sample's window is degenerate: mean == max == the sample.
+    #[test]
+    fn single_sample_window_is_degenerate(at in 0u64..10_000_000,
+                                          value in 0u64..1_000_000_000) {
+        let mut ts = TimeSeries::new(1_000);
+        ts.record(at, value);
+        let w = ts.windows();
+        prop_assert_eq!(w.len(), 1);
+        prop_assert_eq!(w[0].max, value);
+        prop_assert!((w[0].mean - value as f64).abs() < 1e-9);
+        // The dump helpers agree with the aggregation.
+        prop_assert_eq!(ts.to_csv().lines().count(), 2);
+    }
+
+    /// Empty windows never appear in the aggregation or either dump; the
+    /// JSON dump round-trips through the harness parser.
+    #[test]
+    fn sparse_series_skips_empty_windows(times in vec(0u64..1_000_000, 0..50)) {
+        let mut ts = TimeSeries::new(1_000);
+        for &t in &times {
+            ts.record(t, 1);
+        }
+        let distinct: std::collections::BTreeSet<u64> =
+            times.iter().map(|t| t / 1_000).collect();
+        let w = ts.windows();
+        prop_assert_eq!(w.len(), distinct.len());
+        prop_assert_eq!(ts.to_csv().lines().count(), 1 + distinct.len());
+        let rendered = ts.to_json().render();
+        let parsed = Json::parse(&rendered).expect("dump must be valid JSON");
+        prop_assert_eq!(parsed.render(), rendered);
     }
 
     /// Welford summary matches naive two-pass computation.

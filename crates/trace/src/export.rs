@@ -1,0 +1,287 @@
+//! Deterministic exporters: Chrome trace-event JSON (loadable in
+//! Perfetto / `chrome://tracing`) and a JSONL event log for scripts.
+//!
+//! Both formats are produced through the in-tree harness serializer, so
+//! identical recordings render to identical bytes: object keys keep
+//! insertion order, integers render exactly, and the only floats emitted
+//! (`ts`/`dur` microseconds, gauge means) are pure functions of the
+//! recorded integers.
+
+use cagc_harness::Json;
+
+use crate::event::{Event, EventKind, Track};
+use crate::tracer::Tracer;
+
+/// Chrome thread ids for the synthetic FTL process (`pid = channels`).
+const FTL_TID_HOST: u64 = 0;
+const FTL_TID_GC: u64 = 1;
+const FTL_TID_HASH: u64 = 2;
+const FTL_TID_FAULT: u64 = 3;
+
+fn pid_tid(track: Track, channels: u32) -> (u64, u64) {
+    match track {
+        Track::Die { channel, die } => (u64::from(channel), u64::from(die)),
+        Track::Host => (u64::from(channels), FTL_TID_HOST),
+        Track::Gc => (u64::from(channels), FTL_TID_GC),
+        Track::Hash => (u64::from(channels), FTL_TID_HASH),
+        Track::Fault => (u64::from(channels), FTL_TID_FAULT),
+    }
+}
+
+fn category(track: Track) -> &'static str {
+    match track {
+        Track::Die { .. } => "flash",
+        Track::Host => "host",
+        Track::Gc => "gc",
+        Track::Hash => "hash",
+        Track::Fault => "fault",
+    }
+}
+
+/// Simulated ns → Chrome `ts` microseconds. Chrome's unit is µs; the
+/// division is deterministic (same u64 in, same f64 out) even when the
+/// quotient is not exact.
+fn ts_us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn args_obj(args: &[(&'static str, u64)]) -> Json {
+    Json::Obj(args.iter().map(|&(k, v)| (k.to_string(), Json::U64(v))).collect())
+}
+
+fn metadata(pid: u64, tid: u64, which: &'static str, label: String) -> Json {
+    Json::obj([
+        ("ph", Json::Str("M".into())),
+        ("pid", Json::U64(pid)),
+        ("tid", Json::U64(tid)),
+        ("name", Json::Str(which.into())),
+        ("args", Json::Obj(vec![("name".into(), Json::Str(label))])),
+    ])
+}
+
+fn event_json(event: &Event, channels: u32) -> Json {
+    let (pid, tid) = pid_tid(event.track, channels);
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("name".into(), Json::Str(event.name.into())),
+        ("cat".into(), Json::Str(category(event.track).into())),
+    ];
+    match event.kind {
+        EventKind::Span { start_ns, end_ns } => {
+            pairs.push(("ph".into(), Json::Str("X".into())));
+            pairs.push(("ts".into(), Json::F64(ts_us(start_ns))));
+            pairs.push(("dur".into(), Json::F64(ts_us(end_ns.saturating_sub(start_ns)))));
+        }
+        EventKind::Instant { at_ns } => {
+            pairs.push(("ph".into(), Json::Str("i".into())));
+            pairs.push(("ts".into(), Json::F64(ts_us(at_ns))));
+            pairs.push(("s".into(), Json::Str("t".into())));
+        }
+    }
+    pairs.push(("pid".into(), Json::U64(pid)));
+    pairs.push(("tid".into(), Json::U64(tid)));
+    if !event.args.is_empty() {
+        pairs.push(("args".into(), args_obj(&event.args)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Build the Chrome trace-event document for a recording.
+///
+/// `channels` is the device's channel count: die tracks map to
+/// `pid = channel`, `tid = global die index`, and the FTL's logical
+/// tracks (host/gc/hash/fault) share the synthetic process
+/// `pid = channels`. Gauges become `ph:"C"` counter events on the FTL
+/// process, one per aggregated window, valued at the window mean.
+pub fn chrome_trace(tracer: &Tracer, channels: u32) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+
+    // Process/thread naming metadata, emitted for every (pid, tid) that
+    // actually carries events, in sorted order for determinism.
+    let mut pids: Vec<u64> = Vec::new();
+    let mut threads: Vec<(u64, u64, Track)> = Vec::new();
+    for e in tracer.events() {
+        let (pid, tid) = pid_tid(e.track, channels);
+        if !pids.contains(&pid) {
+            pids.push(pid);
+        }
+        if !threads.iter().any(|&(p, t, _)| p == pid && t == tid) {
+            threads.push((pid, tid, e.track));
+        }
+    }
+    if !tracer.registry().is_empty() {
+        let ftl = u64::from(channels);
+        if !pids.contains(&ftl) {
+            pids.push(ftl);
+        }
+    }
+    pids.sort_unstable();
+    threads.sort_unstable_by_key(|&(p, t, _)| (p, t));
+    for &pid in &pids {
+        let label = if pid == u64::from(channels) {
+            "ftl".to_string()
+        } else {
+            format!("channel {pid}")
+        };
+        events.push(metadata(pid, 0, "process_name", label));
+    }
+    for &(pid, tid, track) in &threads {
+        let label = match track {
+            Track::Die { die, .. } => format!("die {die}"),
+            Track::Host => "host".to_string(),
+            Track::Gc => "gc".to_string(),
+            Track::Hash => "hash".to_string(),
+            Track::Fault => "fault".to_string(),
+        };
+        events.push(metadata(pid, tid, "thread_name", label));
+    }
+
+    for e in tracer.events() {
+        events.push(event_json(e, channels));
+    }
+
+    // Gauge counters ride on the FTL process track.
+    let ftl = u64::from(channels);
+    for (name, windows) in tracer.registry().snapshot() {
+        for w in windows {
+            events.push(Json::obj([
+                ("ph", Json::Str("C".into())),
+                ("ts", Json::F64(ts_us(w.start_ns))),
+                ("pid", Json::U64(ftl)),
+                ("tid", Json::U64(0)),
+                ("name", Json::Str(name.into())),
+                (
+                    "args",
+                    Json::Obj(vec![(name.to_string(), Json::F64(w.mean))]),
+                ),
+            ]));
+        }
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".into())),
+    ])
+}
+
+fn jsonl_track(track: Track) -> Vec<(String, Json)> {
+    match track {
+        Track::Die { channel, die } => vec![
+            ("track".into(), Json::Str("die".into())),
+            ("channel".into(), Json::U64(u64::from(channel))),
+            ("die".into(), Json::U64(u64::from(die))),
+        ],
+        Track::Host => vec![("track".into(), Json::Str("host".into()))],
+        Track::Gc => vec![("track".into(), Json::Str("gc".into()))],
+        Track::Hash => vec![("track".into(), Json::Str("hash".into()))],
+        Track::Fault => vec![("track".into(), Json::Str("fault".into()))],
+    }
+}
+
+/// Render the recording as JSONL: one compact JSON object per line —
+/// every event in recording order, then one `"gauge"` line per
+/// aggregated window. Each line parses with `cagc_harness::Json::parse`.
+pub fn jsonl(tracer: &Tracer) -> String {
+    let mut out = String::new();
+    for e in tracer.events() {
+        let mut pairs = jsonl_track(e.track);
+        pairs.push(("name".into(), Json::Str(e.name.into())));
+        match e.kind {
+            EventKind::Span { start_ns, end_ns } => {
+                pairs.push(("kind".into(), Json::Str("span".into())));
+                pairs.push(("start_ns".into(), Json::U64(start_ns)));
+                pairs.push(("end_ns".into(), Json::U64(end_ns)));
+            }
+            EventKind::Instant { at_ns } => {
+                pairs.push(("kind".into(), Json::Str("instant".into())));
+                pairs.push(("at_ns".into(), Json::U64(at_ns)));
+            }
+        }
+        if !e.args.is_empty() {
+            pairs.push(("args".into(), args_obj(&e.args)));
+        }
+        out.push_str(&Json::Obj(pairs).render());
+        out.push('\n');
+    }
+    for (name, windows) in tracer.registry().snapshot() {
+        for w in windows {
+            let line = Json::obj([
+                ("track", Json::Str("gauge".into())),
+                ("name", Json::Str(name.into())),
+                ("start_ns", Json::U64(w.start_ns)),
+                ("count", Json::U64(w.count)),
+                ("mean", Json::F64(w.mean)),
+                ("max", Json::U64(w.max)),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::TraceConfig;
+
+    fn sample_tracer() -> Tracer {
+        let mut t = Tracer::enabled(TraceConfig {
+            counter_window_ns: 1_000,
+            ..TraceConfig::default()
+        });
+        t.span(
+            Track::Die { channel: 1, die: 3 },
+            "read",
+            2_000,
+            5_000,
+            &[("ppn", 42)],
+        );
+        t.span(Track::Gc, "gc_round", 1_000, 9_000, &[("victim", 7)]);
+        t.instant(Track::Fault, "program_retry", 4_500, &[("block", 7), ("attempt", 1)]);
+        t.gauge("free_pages", 0, 100);
+        t.gauge("free_pages", 2_500, 90);
+        t
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_spans_instants_and_counters() {
+        let json = chrome_trace(&sample_tracer(), 2);
+        let text = json.render();
+        // Structure: loadable trace-event document.
+        assert!(text.starts_with(r#"{"traceEvents":["#));
+        assert!(text.contains(r#""displayTimeUnit":"ns""#));
+        // pid mapping: die on channel 1, FTL process at pid=channels=2.
+        assert!(text.contains(r#""process_name","args":{"name":"channel 1"}"#));
+        assert!(text.contains(r#""process_name","args":{"name":"ftl"}"#));
+        assert!(text.contains(r#""thread_name","args":{"name":"die 3"}"#));
+        // Complete span with µs timestamps: 2000 ns = 2 µs, 3000 ns dur.
+        assert!(text.contains(r#""name":"read","cat":"flash","ph":"X","ts":2,"dur":3,"pid":1,"tid":3"#));
+        // Instant and counter phases present.
+        assert!(text.contains(r#""ph":"i""#));
+        assert!(text.contains(r#""ph":"C""#));
+        // Round-trips through the harness parser.
+        let parsed = Json::parse(&text).expect("chrome trace must be valid JSON");
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let text = jsonl(&sample_tracer());
+        let lines: Vec<&str> = text.lines().collect();
+        // 3 events + 2 gauge windows (0 ns and 2000 ns windows).
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            Json::parse(line).expect("every JSONL line must parse");
+        }
+        assert!(lines[0].contains(r#""track":"die","channel":1,"die":3"#));
+        assert!(lines[4].contains(r#""track":"gauge""#));
+    }
+
+    #[test]
+    fn export_is_byte_identical_across_identical_recordings() {
+        let a = sample_tracer();
+        let b = sample_tracer();
+        assert_eq!(chrome_trace(&a, 2).render(), chrome_trace(&b, 2).render());
+        assert_eq!(jsonl(&a), jsonl(&b));
+    }
+}

@@ -1,0 +1,103 @@
+//! Counter/gauge registry: named scalar series sampled over simulated
+//! time into [`cagc_metrics::TimeSeries`] windows.
+//!
+//! Gauges are `u64`-valued. Ratios (write amplification, dedup hit rate)
+//! follow a naming convention instead of a float type: sample them scaled
+//! ×1000 under a `*_milli` name, so `waf_milli = 1340` means WA ≈ 1.34.
+//! Keeping the registry integer-only means every sample aggregates
+//! exactly and the exported JSON never depends on float summation order.
+
+use cagc_harness::{Json, ToJson};
+use cagc_metrics::{TimeSeries, Window};
+
+/// A set of named gauges, each a windowed [`TimeSeries`].
+///
+/// Registration is implicit: the first `record` for a name creates the
+/// series. Insertion order is preserved so every export is deterministic.
+#[derive(Debug, Clone)]
+pub struct GaugeRegistry {
+    window_ns: u64,
+    gauges: Vec<(&'static str, TimeSeries)>,
+}
+
+impl GaugeRegistry {
+    /// A registry whose gauges aggregate into windows of `window_ns`.
+    pub fn new(window_ns: u64) -> Self {
+        Self { window_ns, gauges: Vec::new() }
+    }
+
+    /// Record `value` for gauge `name` at simulated time `at_ns`.
+    pub fn record(&mut self, name: &'static str, at_ns: u64, value: u64) {
+        match self.gauges.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, series)) => series.record(at_ns, value),
+            None => {
+                let mut series = TimeSeries::new(self.window_ns);
+                series.record(at_ns, value);
+                self.gauges.push((name, series));
+            }
+        }
+    }
+
+    /// Gauge window width.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Number of registered gauges.
+    pub fn len(&self) -> usize {
+        self.gauges.len()
+    }
+
+    /// True when no gauge has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.gauges.is_empty()
+    }
+
+    /// Every gauge with its aggregated windows, in registration order.
+    pub fn snapshot(&self) -> Vec<(&'static str, Vec<Window>)> {
+        self.gauges.iter().map(|(n, s)| (*n, s.windows())).collect()
+    }
+}
+
+impl ToJson for GaugeRegistry {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.snapshot()
+                .into_iter()
+                .map(|(name, windows)| (name.to_string(), windows.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_register_on_first_record_and_keep_order() {
+        let mut reg = GaugeRegistry::new(1_000);
+        reg.record("free_pages", 10, 500);
+        reg.record("waf_milli", 10, 1000);
+        reg.record("free_pages", 1_500, 400);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "free_pages");
+        assert_eq!(snap[0].1.len(), 2);
+        assert_eq!(snap[1].0, "waf_milli");
+        assert_eq!(snap[1].1[0].max, 1000);
+    }
+
+    #[test]
+    fn json_is_deterministic_across_identical_inputs() {
+        let build = || {
+            let mut reg = GaugeRegistry::new(100);
+            reg.record("a", 0, 1);
+            reg.record("b", 250, 7);
+            reg.record("a", 50, 3);
+            reg.to_json().render()
+        };
+        assert_eq!(build(), build());
+        assert!(build().starts_with(r#"{"a":[{"start_ns":0,"count":2"#));
+    }
+}

@@ -1,0 +1,89 @@
+//! Telemetry summary embedded in a run report.
+
+use cagc_harness::{Json, ToJson};
+use cagc_metrics::Window;
+
+/// What a traced run recorded, for `RunReport` embedding.
+///
+/// Only constructed when tracing is enabled ([`crate::Tracer::report`]
+/// returns `None` otherwise), so untraced reports render byte-identical
+/// to builds without the tracing layer.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Events retained in memory.
+    pub events_recorded: u64,
+    /// Events discarded by the bounded-memory guard.
+    pub dropped_events: u64,
+    /// Host-op sampling stride in effect (1 = every request).
+    pub sample: u64,
+    /// Gauge aggregation window width (ns).
+    pub gauge_window_ns: u64,
+    /// Every gauge with its aggregated windows, registration order.
+    pub gauges: Vec<(String, Vec<Window>)>,
+}
+
+impl TelemetryReport {
+    /// Human-readable lines for the ASCII report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry: {} events recorded, {} dropped (sample 1/{})\n",
+            self.events_recorded, self.dropped_events, self.sample
+        ));
+        for (name, windows) in &self.gauges {
+            let last = windows.last();
+            out.push_str(&format!(
+                "  gauge {:<20} {:>4} windows, last mean {:.1}\n",
+                name,
+                windows.len(),
+                last.map_or(0.0, |w| w.mean),
+            ));
+        }
+        out
+    }
+}
+
+impl ToJson for TelemetryReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("events_recorded", Json::U64(self.events_recorded)),
+            ("dropped_events", Json::U64(self.dropped_events)),
+            ("sample", Json::U64(self.sample)),
+            ("gauge_window_ns", Json::U64(self.gauge_window_ns)),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, w)| (n.clone(), w.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_json_and_text() {
+        let report = TelemetryReport {
+            events_recorded: 12,
+            dropped_events: 3,
+            sample: 2,
+            gauge_window_ns: 1_000,
+            gauges: vec![(
+                "free_pages".to_string(),
+                vec![Window { start_ns: 0, count: 1, mean: 5.0, max: 5 }],
+            )],
+        };
+        let json = report.to_json().render();
+        assert!(json.contains("\"dropped_events\":3"));
+        assert!(json.contains("\"free_pages\":[{"));
+        let text = report.render();
+        assert!(text.contains("12 events recorded"));
+        assert!(text.contains("free_pages"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The trace sink: a disabled-by-default recorder with a hard in-memory
+//! event cap (bounded-memory guard) and deterministic host-op sampling.
+//!
+//! Pay-as-you-go invariant: a disabled [`Tracer`] records nothing,
+//! allocates nothing beyond the struct itself, and every recording entry
+//! point returns after one branch — so simulation results with tracing
+//! off are byte-identical to a build that never heard of tracing.
+
+use crate::event::{Event, EventKind, Track};
+use crate::registry::GaugeRegistry;
+use crate::report::TelemetryReport;
+
+/// Tracing knobs.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Record every `sample`-th host request's spans (GC, fault and gauge
+    /// activity is always recorded). `0` and `1` both mean "every
+    /// request".
+    pub sample: u64,
+    /// Hard cap on retained events; once full, further events increment
+    /// [`Tracer::dropped_events`] instead of allocating.
+    pub max_events: usize,
+    /// Gauge aggregation window width (simulated ns).
+    pub counter_window_ns: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            sample: 1,
+            // ~64 bytes/event ⇒ the default cap bounds a full-scale run
+            // to tens of MB instead of letting --trace OOM the host.
+            max_events: 1 << 20,
+            counter_window_ns: 1_000_000, // 1 ms
+        }
+    }
+}
+
+/// Records spans, instants, and gauge samples stamped in simulated time.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    cfg: TraceConfig,
+    events: Vec<Event>,
+    dropped: u64,
+    host_ops_seen: u64,
+    registry: GaugeRegistry,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Tracer {
+    /// The no-op sink. Every recording method is a single branch.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            cfg: TraceConfig::default(),
+            events: Vec::new(),
+            dropped: 0,
+            host_ops_seen: 0,
+            registry: GaugeRegistry::new(1_000_000),
+        }
+    }
+
+    /// A live tracer with the given knobs.
+    pub fn enabled(cfg: TraceConfig) -> Self {
+        let registry = GaugeRegistry::new(cfg.counter_window_ns.max(1));
+        Self {
+            enabled: true,
+            cfg,
+            events: Vec::new(),
+            dropped: 0,
+            host_ops_seen: 0,
+            registry,
+        }
+    }
+
+    /// Is the sink live? Callers may use this to skip argument
+    /// construction entirely on the disabled path.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Decide whether the next host request's spans should be recorded,
+    /// honoring [`TraceConfig::sample`]. Deterministic: purely a function
+    /// of how many requests came before. Always `false` when disabled.
+    #[inline]
+    pub fn sample_host_op(&mut self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let n = self.host_ops_seen;
+        self.host_ops_seen += 1;
+        self.cfg.sample <= 1 || n.is_multiple_of(self.cfg.sample)
+    }
+
+    /// Record a span over `[start_ns, end_ns]`.
+    #[inline]
+    pub fn span(
+        &mut self,
+        track: Track,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(Event {
+            track,
+            name,
+            kind: EventKind::Span { start_ns, end_ns },
+            args: args.to_vec(),
+        });
+    }
+
+    /// Record a point event at `at_ns`.
+    #[inline]
+    pub fn instant(
+        &mut self,
+        track: Track,
+        name: &'static str,
+        at_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(Event { track, name, kind: EventKind::Instant { at_ns }, args: args.to_vec() });
+    }
+
+    /// Sample gauge `name` at `at_ns`. Gauges live outside the event cap:
+    /// a [`GaugeRegistry`] is already O(windows), not O(samples).
+    #[inline]
+    pub fn gauge(&mut self, name: &'static str, at_ns: u64, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.registry.record(name, at_ns, value);
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.events.len() >= self.cfg.max_events {
+            self.dropped += 1;
+        } else {
+            self.events.push(event);
+        }
+    }
+
+    /// Events retained so far, in recording order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events discarded by the bounded-memory guard.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The gauge registry.
+    pub fn registry(&self) -> &GaugeRegistry {
+        &self.registry
+    }
+
+    /// Configured knobs.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Summary for embedding in a run report. `None` when disabled, so
+    /// reports from untraced runs stay byte-identical.
+    pub fn report(&self) -> Option<TelemetryReport> {
+        if !self.enabled {
+            return None;
+        }
+        Some(TelemetryReport {
+            events_recorded: self.events.len() as u64,
+            dropped_events: self.dropped,
+            sample: self.cfg.sample.max(1),
+            gauge_window_ns: self.registry.window_ns(),
+            gauges: self
+                .registry
+                .snapshot()
+                .into_iter()
+                .map(|(n, w)| (n.to_string(), w))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.sample_host_op());
+        t.span(Track::Host, "write", 0, 10, &[("lpn", 1)]);
+        t.instant(Track::Gc, "victim_select", 5, &[]);
+        t.gauge("free_pages", 0, 100);
+        assert!(t.events().is_empty());
+        assert!(t.registry().is_empty());
+        assert_eq!(t.dropped_events(), 0);
+        assert!(t.report().is_none());
+    }
+
+    #[test]
+    fn event_cap_drops_and_counts() {
+        let mut t = Tracer::enabled(TraceConfig { max_events: 3, ..TraceConfig::default() });
+        for i in 0..10 {
+            t.instant(Track::Gc, "tick", i, &[("i", i)]);
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped_events(), 7);
+        // The survivors are the earliest events (count limit, not a ring).
+        assert_eq!(t.events()[2].ts_ns(), 2);
+        let report = t.report().unwrap();
+        assert_eq!(report.events_recorded, 3);
+        assert_eq!(report.dropped_events, 7);
+    }
+
+    #[test]
+    fn host_sampling_is_deterministic_every_nth() {
+        let mut t = Tracer::enabled(TraceConfig { sample: 4, ..TraceConfig::default() });
+        let picks: Vec<bool> = (0..9).map(|_| t.sample_host_op()).collect();
+        assert_eq!(
+            picks,
+            vec![true, false, false, false, true, false, false, false, true]
+        );
+        // sample=0 and sample=1 both mean "everything".
+        let mut all = Tracer::enabled(TraceConfig { sample: 0, ..TraceConfig::default() });
+        assert!((0..5).all(|_| all.sample_host_op()));
+    }
+
+    #[test]
+    fn gauges_bypass_the_event_cap() {
+        let mut t = Tracer::enabled(TraceConfig { max_events: 0, ..TraceConfig::default() });
+        t.gauge("waf_milli", 0, 1000);
+        t.gauge("waf_milli", 2_000_000, 1500);
+        assert_eq!(t.registry().snapshot()[0].1.len(), 2);
+        assert_eq!(t.dropped_events(), 0);
+    }
+}

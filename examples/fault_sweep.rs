@@ -18,13 +18,26 @@
 //! ```bash
 //! cargo run --release --example fault_sweep            # full sweep
 //! cargo run --release --example fault_sweep -- --smoke # CI-sized
+//! cargo run --release --example fault_sweep -- --smoke --trace faults.trace.json
 //! ```
+//!
+//! With `--trace <path>` the crash-and-recover run (part 2) records every
+//! span and writes a Chrome trace-event JSON for Perfetto. The traced run
+//! additionally injects the sweep's top program/ECC fault rate, so the
+//! timeline shows retry instants and the recovery span alongside the
+//! power-loss point — see docs/OBSERVABILITY.md for the taxonomy.
 
 use cagc::metrics::Table;
 use cagc::prelude::*;
+use std::path::PathBuf;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| PathBuf::from(args.get(i + 1).expect("--trace needs a path")));
     let (flash, requests, rates): (UllConfig, usize, &[f64]) = if smoke {
         (UllConfig::tiny_for_tests(), 8_000, &[0.0, 5e-3])
     } else {
@@ -82,7 +95,17 @@ fn main() {
     // durable ops per request once migration traffic dominates.
     let crash_op = requests as u64 * 10;
     cfg.faults = FaultConfig { crash_at_op: Some(crash_op), seed: 11, ..FaultConfig::none() };
+    if trace_out.is_some() {
+        // The traced run also injects the sweep's top fault rate so the
+        // timeline carries retry instants, not just the crash + recovery.
+        let top = rates.last().copied().unwrap_or(0.0);
+        cfg.faults.program_fail_prob = top;
+        cfg.faults.read_ecc_prob = top;
+    }
     let mut ssd = Ssd::new(cfg);
+    if trace_out.is_some() {
+        ssd.enable_tracing(TraceConfig::default());
+    }
 
     let mut torn_at = None;
     for (i, req) in trace.requests.iter().enumerate() {
@@ -121,4 +144,17 @@ fn main() {
     ssd.audit().expect("post-recovery consistency");
     let report = ssd.report(&trace.name);
     println!("\nrun completed after recovery; final report:\n{}", report.render());
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, ssd.chrome_trace().render()).expect("write Chrome trace");
+        let names: Vec<&str> = ssd.tracer().events().iter().map(|e| e.name).collect();
+        println!(
+            "\ntrace: {} events ({} dropped), retries {}, recovery spans {} -> {}",
+            ssd.tracer().events().len(),
+            ssd.tracer().dropped_events(),
+            names.iter().filter(|n| n.ends_with("_retry")).count(),
+            names.iter().filter(|n| **n == "recover").count(),
+            path.display()
+        );
+    }
 }

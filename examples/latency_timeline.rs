@@ -9,14 +9,33 @@
 //!
 //! ```bash
 //! cargo run --release --example latency_timeline
+//! cargo run --release --example latency_timeline -- --trace cagc.trace.json
 //! ```
+//!
+//! With `--trace <path>` the CAGC pass records every span (host ops, GC
+//! phases, per-die busy intervals) and writes a Chrome trace-event JSON
+//! openable in Perfetto — the timeline behind the sparkline. Add
+//! `--trace-sample <n>` to thin host-op spans on big runs. See
+//! docs/OBSERVABILITY.md.
 
 use cagc::metrics::TimeSeries;
 use cagc::prelude::*;
 use cagc::sim::time::ms;
 use cagc::workloads::scale_rate;
+use std::path::PathBuf;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| PathBuf::from(args.get(i + 1).expect("--trace needs a path")));
+    let trace_sample: u64 = args
+        .iter()
+        .position(|a| a == "--trace-sample")
+        .map(|i| args.get(i + 1).and_then(|s| s.parse().ok()).expect("--trace-sample needs a number"))
+        .unwrap_or(1);
+
     let flash = UllConfig::tiny_for_tests();
     let footprint = (flash.logical_pages() as f64 * 0.95) as u64;
     // The tiny 4-die device needs a gentler arrival rate than the default
@@ -34,6 +53,9 @@ fn main() {
 
     for scheme in [Scheme::Baseline, Scheme::Cagc] {
         let mut ssd = Ssd::new(SsdConfig::tiny(scheme));
+        if trace_out.is_some() && scheme == Scheme::Cagc {
+            ssd.enable_tracing(TraceConfig { sample: trace_sample, ..TraceConfig::default() });
+        }
         let mut series = TimeSeries::new(ms(50));
         for req in &trace.requests {
             let done = ssd.process(req);
@@ -53,6 +75,15 @@ fn main() {
             report.gc.invocations,
             report.gc.blocks_erased
         );
+        if let (Some(path), Scheme::Cagc) = (&trace_out, scheme) {
+            std::fs::write(path, ssd.chrome_trace().render()).expect("write Chrome trace");
+            println!(
+                "trace: {} events ({} dropped) -> {}\n",
+                ssd.tracer().events().len(),
+                ssd.tracer().dropped_events(),
+                path.display()
+            );
+        }
     }
     println!("(each column is ~1% of the run; darker = higher mean latency, log scale)");
 }

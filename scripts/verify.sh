@@ -16,8 +16,22 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== docs (offline, no deps) =="
 cargo doc --no-deps --offline
 
-echo "== smoke: regenerate Fig. 9 =="
+echo "== smoke: regenerate Fig. 9 (tracing disabled => byte-identical CSV) =="
 cargo run --release --offline -p cagc-bench --bin repro -- fig9
+git diff --exit-code -- results/fig9.csv \
+  || { echo "FAIL: untraced repro must regenerate results/fig9.csv byte-identical"; exit 1; }
+
+echo "== smoke: deterministic trace (Chrome JSON, parser round-trip, seed-stable) =="
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --smoke --trace "$TRACE_TMP/a.json" | grep "parser round-trip OK"
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --smoke --trace "$TRACE_TMP/b.json" > /dev/null
+cmp "$TRACE_TMP/a.json" "$TRACE_TMP/b.json" \
+  || { echo "FAIL: same-seed Chrome traces must be byte-identical"; exit 1; }
+cmp "$TRACE_TMP/a.jsonl" "$TRACE_TMP/b.jsonl" \
+  || { echo "FAIL: same-seed JSONL logs must be byte-identical"; exit 1; }
 
 echo "== smoke: trim sensitivity (asserts honoring < ignoring) =="
 cargo run --release --offline --example trim_sensitivity -- --smoke

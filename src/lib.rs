@@ -21,6 +21,7 @@
 //! | [`core`] | the schemes: `Ssd`, content-aware GC, reports |
 //! | [`workloads`] | traces, FIU-like generators, parsers, file scenarios |
 //! | [`metrics`] | latency histograms, CDFs, summary stats, report tables |
+//! | [`trace`] | deterministic tracing: spans over simulated time, Chrome/JSONL export, gauge registry |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use cagc_flash as flash;
 pub use cagc_ftl as ftl;
 pub use cagc_metrics as metrics;
 pub use cagc_sim as sim;
+pub use cagc_trace as trace;
 pub use cagc_workloads as workloads;
 
 /// The names most programs need, in one import.
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use cagc_flash::{FaultConfig, FlashDevice, FlashError, Geometry, Timing, UllConfig};
     pub use cagc_ftl::{VictimKind, Region};
     pub use cagc_metrics::{Cdf, Histogram};
+    pub use cagc_trace::{TraceConfig, Tracer};
     pub use cagc_workloads::{
         inject_trims, FileWorkloadBuilder, FiuWorkload, OpKind, Request, SynthConfig, Trace,
         TraceProfile,
