@@ -126,6 +126,26 @@ pub struct SsdConfig {
     /// usable pool to `gc_reserve_blocks + read_only_floor_blocks` or
     /// fewer, the device stops accepting writes and trims.
     pub read_only_floor_blocks: u32,
+    /// Preemptible GC scheduling (time-efficient GC, Nagel et al.). When
+    /// true, victim collection is sliced into [`Self::gc_slice_pages`]-page
+    /// quanta: each foreground write that trips the low watermark advances
+    /// the in-flight victim by one quantum and then *yields* back to host
+    /// commands instead of migrating the whole block inline. The remainder
+    /// is carried as a suspended GC job, resumed on later triggers, idle
+    /// windows ([`Self::idle_gc`]) or explicit [`crate::Ssd::gc_pump`]
+    /// calls. When false (default) GC is the paper's run-to-completion
+    /// loop — byte-identical behavior to builds without this knob.
+    pub gc_preempt: bool,
+    /// Pages migrated per preemption quantum (only with
+    /// [`Self::gc_preempt`]). Smaller slices mean finer-grained yielding —
+    /// lower foreground tail latency but more scheduling overhead.
+    pub gc_slice_pages: u32,
+    /// Urgency escalation floor for preemptible GC: when the free-block
+    /// fraction falls below this, preemption is suspended and GC runs
+    /// whole victims to completion until the low watermark clears (the
+    /// high/low watermark pair of the ISSUE's state machine; guards
+    /// against the foreground outrunning sliced reclamation).
+    pub gc_urgent_fraction: f64,
 }
 
 impl SsdConfig {
@@ -175,6 +195,14 @@ impl SsdConfig {
             max_read_retries: 2,
             ecc_decode_ns: us(5),
             read_only_floor_blocks: 4,
+            gc_preempt: false,
+            gc_slice_pages: 8,
+            // Halfway between the hard reserve and the low watermark:
+            // enough headroom that whole-victim catch-up can still clear
+            // the trigger before the allocator stalls.
+            gc_urgent_fraction: ((gc_reserve_blocks as f64 + 0.05 * op_blocks as f64)
+                / total_blocks as f64)
+                .min(0.85),
         }
     }
 
@@ -197,6 +225,17 @@ impl SsdConfig {
         }
         if self.scheme == Scheme::Cagc && self.cold_threshold == 0 {
             return Err("cold_threshold 0 would send every page cold".into());
+        }
+        if self.gc_preempt {
+            if self.gc_slice_pages == 0 {
+                return Err("gc_slice_pages must be >= 1".into());
+            }
+            if !(0.0 < self.gc_urgent_fraction && self.gc_urgent_fraction <= self.gc_low) {
+                return Err(format!(
+                    "gc_urgent_fraction {} must sit in (0, gc_low {}]",
+                    self.gc_urgent_fraction, self.gc_low
+                ));
+            }
         }
         self.faults.validate()?;
         Ok(())
@@ -260,6 +299,20 @@ mod tests {
         assert!(c.faults.crash_at_op.is_none());
         assert!(c.max_program_retries >= 1);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn preempt_knobs_default_off_and_validate() {
+        let mut c = SsdConfig::tiny(Scheme::Cagc);
+        assert!(!c.gc_preempt, "preemption must default off (byte-identical baseline)");
+        c.gc_preempt = true;
+        c.validate().unwrap();
+        assert!(0.0 < c.gc_urgent_fraction && c.gc_urgent_fraction <= c.gc_low);
+        c.gc_slice_pages = 0;
+        assert!(c.validate().is_err());
+        c.gc_slice_pages = 8;
+        c.gc_urgent_fraction = c.gc_low + 0.1;
+        assert!(c.validate().is_err());
     }
 
     #[test]

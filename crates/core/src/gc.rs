@@ -26,6 +26,23 @@ use cagc_trace::Track;
 use crate::config::Scheme;
 use crate::ssd::{fp_stamp, Ssd, TraceCtx};
 
+/// A suspended preemptible GC job: one victim whose valid pages are being
+/// migrated in [`crate::SsdConfig::gc_slice_pages`]-sized quanta. The page
+/// list is a snapshot taken at job start; pages invalidated between slices
+/// (foreground overwrites, dedup absorption) are re-checked and skipped
+/// when their quantum comes up.
+#[derive(Debug, Clone)]
+pub(crate) struct GcJob {
+    /// Victim block being drained. It stays out of the frontier pool until
+    /// its erase, and a new job is never started while one is suspended,
+    /// so no other GC path touches it.
+    pub victim: BlockId,
+    /// Snapshot of the victim's valid pages at job start.
+    pub pages: Vec<Ppn>,
+    /// Next index into `pages` to migrate.
+    pub next: usize,
+}
+
 impl Ssd {
     /// Run GC if the free-space watermark demands it. Returns when the
     /// round's *space reclamation* is complete (the last erase): free
@@ -35,6 +52,9 @@ impl Ssd {
     /// which is exactly how GC hurts foreground I/O in a real SSD and the
     /// effect Figs. 11/12 measure.
     pub(crate) fn maybe_gc(&mut self, now: Nanos) -> Result<Nanos, FlashError> {
+        if self.cfg.gc_preempt {
+            return self.maybe_gc_preempt(now);
+        }
         if !self.trigger.should_start(self.alloc.free_fraction()) {
             return Ok(now);
         }
@@ -139,9 +159,239 @@ impl Ssd {
         self.force_gc_inner(now).unwrap_or(now)
     }
 
+    /// Preemptible GC entry (the [`crate::SsdConfig::gc_preempt`] state
+    /// machine). Per trigger check:
+    ///
+    /// * **urgent** (free < `gc_urgent_fraction`): preemption is suspended
+    ///   — drain the in-flight job, then collect whole victims until the
+    ///   low watermark clears (the escalation leg);
+    /// * **triggered** (job pending, or free below the low watermark): run
+    ///   exactly one `gc_slice_pages` quantum, then yield back to the
+    ///   foreground with the remainder suspended in [`GcJob`];
+    /// * otherwise: no work.
+    fn maybe_gc_preempt(&mut self, now: Nanos) -> Result<Nanos, FlashError> {
+        if self.alloc.free_fraction() < self.cfg.gc_urgent_fraction {
+            return self.gc_catch_up(now);
+        }
+        if self.gc_job.is_none() && !self.trigger.should_start(self.alloc.free_fraction()) {
+            return Ok(now);
+        }
+        let prev_ctx = self.tctx;
+        if self.tracer.is_enabled() {
+            self.tctx = TraceCtx::Gc;
+        }
+        let result = self.run_gc_slice(now);
+        self.tctx = prev_ctx;
+        let end = result?;
+        self.gc_stats.busy_ns += end.saturating_sub(now);
+        self.gc_active_until = self.gc_active_until.max(end);
+        Ok(end)
+    }
+
+    /// Urgency escalation: free space fell below the urgent floor, so the
+    /// foreground is outrunning sliced reclamation. Run whole victims —
+    /// starting with the suspended job, whose erase is the fastest path to
+    /// a free block — until the low watermark clears or no victim makes
+    /// net progress (the same two-stall valve as the non-preemptible loop).
+    fn gc_catch_up(&mut self, now: Nanos) -> Result<Nanos, FlashError> {
+        let prev_ctx = self.tctx;
+        if self.tracer.is_enabled() {
+            self.tctx = TraceCtx::Gc;
+        }
+        self.tracer.instant(
+            Track::Gc,
+            "gc_urgent",
+            now,
+            &[("free_blocks", u64::from(self.alloc.free_blocks()))],
+        );
+        let mut cursor = now;
+        let mut round_end = now;
+        let mut stalls = 0u32;
+        let mut outcome = Ok(());
+        loop {
+            let free_before = self.alloc.free_blocks();
+            let step = if let Some(job) = self.gc_job.take() {
+                self.finish_job(job, cursor)
+            } else {
+                if self.alloc.free_fraction() >= self.cfg.gc_low {
+                    break;
+                }
+                let Some(victim) = self.select_victim(cursor) else { break };
+                self.gc_stats.invocations += 1;
+                self.collect_victim(victim, cursor)
+            };
+            match step {
+                Ok((done, erase_end)) => {
+                    cursor = done;
+                    round_end = round_end.max(erase_end);
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+            if self.alloc.free_blocks() <= free_before {
+                stalls += 1;
+                if stalls >= 2 {
+                    break;
+                }
+            } else {
+                stalls = 0;
+            }
+        }
+        self.tctx = prev_ctx;
+        outcome?;
+        self.gc_stats.busy_ns += round_end.saturating_sub(now);
+        self.gc_active_until = self.gc_active_until.max(round_end);
+        Ok(round_end)
+    }
+
+    /// One preemption quantum: take the suspended job (or select a fresh
+    /// victim and snapshot its valid pages), migrate up to
+    /// `gc_slice_pages` still-valid pages, then either erase the drained
+    /// victim or suspend the remainder and yield.
+    fn run_gc_slice(&mut self, now: Nanos) -> Result<Nanos, FlashError> {
+        let mut job = match self.gc_job.take() {
+            Some(j) => j,
+            None => {
+                let Some(victim) = self.select_victim(now) else { return Ok(now) };
+                self.gc_stats.invocations += 1;
+                let geom = *self.dev.geometry();
+                let pages: Vec<Ppn> = self
+                    .dev
+                    .block(victim)
+                    .valid_pages()
+                    .map(|p| geom.ppn(victim, p))
+                    .collect();
+                GcJob { victim, pages, next: 0 }
+            }
+        };
+        let budget = self.cfg.gc_slice_pages as usize;
+        let mut done = now;
+        let mut read_ready = now;
+        let mut moved = 0u64;
+        while moved < budget as u64 && job.next < job.pages.len() {
+            let ppn = job.pages[job.next];
+            job.next += 1;
+            // The snapshot may be stale: a foreground overwrite or a dedup
+            // absorption between slices can have drained this page already.
+            if self.dev.page_state(ppn) != PageState::Valid {
+                continue;
+            }
+            moved += 1;
+            match self.cfg.scheme {
+                Scheme::Baseline | Scheme::InlineDedup | Scheme::InlineSampled => {
+                    done = done.max(self.migrate_page_blind(ppn, now)?);
+                }
+                Scheme::Cagc => {
+                    let (end, next_ready) =
+                        self.migrate_page_content_aware(job.victim, ppn, read_ready)?;
+                    read_ready = next_ready;
+                    done = done.max(end);
+                }
+            }
+        }
+        if job.next >= job.pages.len() {
+            let erase_end = self.erase_victim(job.victim, done)?;
+            self.tracer.span(
+                Track::Gc,
+                "gc_slice",
+                now,
+                erase_end,
+                &[("pages", moved), ("victim", u64::from(job.victim)), ("erased", 1)],
+            );
+            Ok(erase_end)
+        } else {
+            let remaining = (job.pages.len() - job.next) as u64;
+            self.tracer.span(
+                Track::Gc,
+                "gc_slice",
+                now,
+                done,
+                &[("pages", moved), ("victim", u64::from(job.victim)), ("erased", 0)],
+            );
+            self.tracer
+                .instant(Track::Gc, "gc_yield", done, &[("remaining", remaining)]);
+            self.gc_job = Some(job);
+            Ok(done)
+        }
+    }
+
+    /// Run a suspended job to completion: migrate every remaining valid
+    /// page and erase the victim. Returns `(migration_done, erase_end)`.
+    fn finish_job(&mut self, job: GcJob, t: Nanos) -> Result<(Nanos, Nanos), FlashError> {
+        let mut done = t;
+        let mut read_ready = t;
+        for &ppn in &job.pages[job.next..] {
+            if self.dev.page_state(ppn) != PageState::Valid {
+                continue;
+            }
+            match self.cfg.scheme {
+                Scheme::Baseline | Scheme::InlineDedup | Scheme::InlineSampled => {
+                    done = done.max(self.migrate_page_blind(ppn, t)?);
+                }
+                Scheme::Cagc => {
+                    let (end, next_ready) =
+                        self.migrate_page_content_aware(job.victim, ppn, read_ready)?;
+                    read_ready = next_ready;
+                    done = done.max(end);
+                }
+            }
+        }
+        let erase_end = self.erase_victim(job.victim, done)?;
+        Ok((done, erase_end))
+    }
+
+    /// Advance preemptible GC by one quantum on the *caller's* clock —
+    /// the host-interface idle hook (`cagc-host`'s pump). Returns the
+    /// quantum's completion time when work was done, `None` when there is
+    /// nothing to do (preemption disabled, free space already above the
+    /// high watermark with no suspended job, or no reclaimable victim).
+    /// A mid-slice power loss is absorbed (`None`); the next host command
+    /// observes the crash exactly as with [`Ssd::force_gc`].
+    pub fn gc_pump(&mut self, now: Nanos) -> Option<Nanos> {
+        if !self.cfg.gc_preempt {
+            return None;
+        }
+        if self.gc_job.is_none() && self.alloc.free_fraction() >= self.cfg.gc_high {
+            return None;
+        }
+        let prev_ctx = self.tctx;
+        if self.tracer.is_enabled() {
+            self.tctx = TraceCtx::Gc;
+        }
+        let result = self.run_gc_slice(now);
+        self.tctx = prev_ctx;
+        match result {
+            Ok(end) if end > now => {
+                self.gc_stats.busy_ns += end - now;
+                self.gc_active_until = self.gc_active_until.max(end);
+                Some(end)
+            }
+            Ok(_) | Err(_) => None,
+        }
+    }
+
     /// [`Ssd::force_gc`] that propagates a mid-GC power loss instead of
     /// absorbing it.
     pub(crate) fn force_gc_inner(&mut self, now: Nanos) -> Result<Nanos, FlashError> {
+        // A suspended preemptible job owns its victim: finish it first —
+        // its erase is the fastest path to a free block for the caller
+        // (the stalled allocator or the idle-GC window).
+        if let Some(job) = self.gc_job.take() {
+            let prev_ctx = self.tctx;
+            if self.tracer.is_enabled() {
+                self.tctx = TraceCtx::Gc;
+            }
+            let result = self.finish_job(job, now);
+            self.tctx = prev_ctx;
+            let (_, erase_end) = result?;
+            self.tracer
+                .span(Track::Gc, "gc_round", now, erase_end, &[("victims", 1)]);
+            self.gc_stats.busy_ns += erase_end.saturating_sub(now);
+            self.gc_active_until = self.gc_active_until.max(erase_end);
+            return Ok(erase_end);
+        }
         let Some(victim) = self.select_victim(now) else { return Ok(now) };
         self.gc_stats.invocations += 1;
         let prev_ctx = self.tctx;
@@ -232,6 +482,15 @@ impl Ssd {
             }
             Scheme::Cagc => self.migrate_content_aware(victim, &valids, t)?,
         };
+        let erase_end = self.erase_victim(victim, done)?;
+        Ok((done, erase_end))
+    }
+
+    /// Erase a fully-drained victim at `done`: snapshot trim attribution,
+    /// issue the erase, and fold the outcome (release / bad-block
+    /// retirement) into the allocator. Returns the erase completion time.
+    fn erase_victim(&mut self, victim: BlockId, done: Nanos) -> Result<Nanos, FlashError> {
+        let geom = *self.dev.geometry();
         // Snapshot before the erase resets the block's trim attribution:
         // every trim-invalidated page reclaimed here is a migration avoided.
         self.gc_stats.trim_reclaimed_pages += self.dev.block(victim).trimmed_count() as u64;
@@ -272,23 +531,29 @@ impl Ssd {
             Err(FlashError::PowerLoss) => return Err(FlashError::PowerLoss),
             Err(e) => panic!("GC erase of block {victim} failed: {e}"),
         };
-        Ok((done, erase_end))
+        Ok(erase_end)
     }
 
     /// Blind migration: read + rewrite every valid page (Fig. 3).
     fn migrate_blind(&mut self, valids: &[Ppn], t: Nanos) -> Result<Nanos, FlashError> {
         let mut done = t;
         for &ppn in valids {
-            self.gc_stats.pages_scanned += 1;
-            let read_end = self.read_flash(ppn, t)?;
-            // Inline schemes track migrated pages in the index; carry the
-            // fingerprint stamp so the relocated copy stays recoverable.
-            let stamp = self.index.fp_of_ppn(ppn).map(|fp| fp_stamp(&fp));
-            let (end, _) = self.relocate_page(ppn, Region::Hot, stamp, read_end)?;
-            self.gc_stats.pages_migrated += 1;
-            done = done.max(end);
+            done = done.max(self.migrate_page_blind(ppn, t)?);
         }
         Ok(done)
+    }
+
+    /// Blind migration of one page whose read may start at `t`. Returns
+    /// the program completion time.
+    fn migrate_page_blind(&mut self, ppn: Ppn, t: Nanos) -> Result<Nanos, FlashError> {
+        self.gc_stats.pages_scanned += 1;
+        let read_end = self.read_flash(ppn, t)?;
+        // Inline schemes track migrated pages in the index; carry the
+        // fingerprint stamp so the relocated copy stays recoverable.
+        let stamp = self.index.fp_of_ppn(ppn).map(|fp| fp_stamp(&fp));
+        let (end, _) = self.relocate_page(ppn, Region::Hot, stamp, read_end)?;
+        self.gc_stats.pages_migrated += 1;
+        Ok(end)
     }
 
     /// Content-aware migration (Fig. 5): hash each valid page on the hash
@@ -308,64 +573,77 @@ impl Ssd {
             if self.dev.page_state(ppn) != PageState::Valid {
                 continue;
             }
-            self.gc_stats.pages_scanned += 1;
-            let read_end = self.read_flash(ppn, read_ready)?;
-            // Fingerprint on the dedicated engine. With overlap enabled the
-            // engine runs beside the dies; the ablation serializes the
-            // pipeline by stalling the next read until the hash finishes.
-            let h = self.hash.hash_page(read_end);
-            self.tracer
-                .span(Track::Hash, "fingerprint", h.start, h.end, &[("ppn", ppn)]);
-            if !self.cfg.overlap_hash {
-                read_ready = h.end;
-            }
-            let decided = h.end + self.cfg.lookup_ns;
-            let content = self.content_at(ppn);
-            let fp = Fingerprint::of_content(content);
-
-            let end = match self.index.lookup(&fp) {
-                Some(entry) if entry.ppn != ppn => {
-                    // Redundant page: the content already has a stored copy
-                    // elsewhere. Absorb all sharers — no flash write.
-                    self.gc_stats.dedup_hits += 1;
-                    self.tracer.instant(
-                        Track::Gc,
-                        "dedup_drop",
-                        decided,
-                        &[("from", ppn), ("to", entry.ppn), ("refs", u64::from(entry.refs))],
-                    );
-                    self.absorb_into(ppn, entry.ppn, &fp, decided)?
-                }
-                Some(entry) => {
-                    // This page *is* the stored copy: migrate it, choosing
-                    // the region by its current reference count.
-                    let dest = self.region_for_refs(entry.refs);
-                    let src = self.alloc.region_of(victim).unwrap_or(Region::Hot);
-                    let (end, _) = self.relocate_page(ppn, dest, Some(fp_stamp(&fp)), decided)?;
-                    self.gc_stats.pages_migrated += 1;
-                    match (src, dest) {
-                        (Region::Hot, Region::Cold) => self.gc_stats.promotions += 1,
-                        (Region::Cold, Region::Hot) => self.gc_stats.demotions += 1,
-                        _ => {}
-                    }
-                    end
-                }
-                None => {
-                    // First time this content passes through GC: fingerprint
-                    // it into the index and place it (a single sharer ⇒ hot).
-                    let sharers = self.rmap.count(ppn) as u32;
-                    debug_assert!(sharers >= 1, "valid page with no sharers");
-                    let dest = self.region_for_refs(sharers);
-                    let (end, new_ppn) =
-                        self.relocate_page(ppn, dest, Some(fp_stamp(&fp)), decided)?;
-                    self.index.insert(fp, new_ppn, sharers);
-                    self.gc_stats.pages_migrated += 1;
-                    end
-                }
-            };
+            let (end, next_ready) = self.migrate_page_content_aware(victim, ppn, read_ready)?;
+            read_ready = next_ready;
             done = done.max(end);
         }
         Ok(done)
+    }
+
+    /// Content-aware migration of one page (the Fig. 5 per-page pipeline):
+    /// read, fingerprint on the hash engine, probe the index, then absorb
+    /// or place by reference count. Returns `(completion, next_read_ready)`
+    /// — the second value carries the hash-serialization stall of the
+    /// `overlap_hash = false` ablation to the following page.
+    fn migrate_page_content_aware(
+        &mut self,
+        victim: BlockId,
+        ppn: Ppn,
+        read_ready: Nanos,
+    ) -> Result<(Nanos, Nanos), FlashError> {
+        self.gc_stats.pages_scanned += 1;
+        let read_end = self.read_flash(ppn, read_ready)?;
+        // Fingerprint on the dedicated engine. With overlap enabled the
+        // engine runs beside the dies; the ablation serializes the
+        // pipeline by stalling the next read until the hash finishes.
+        let h = self.hash.hash_page(read_end);
+        self.tracer
+            .span(Track::Hash, "fingerprint", h.start, h.end, &[("ppn", ppn)]);
+        let next_ready = if self.cfg.overlap_hash { read_ready } else { h.end };
+        let decided = h.end + self.cfg.lookup_ns;
+        let content = self.content_at(ppn);
+        let fp = Fingerprint::of_content(content);
+
+        let end = match self.index.lookup(&fp) {
+            Some(entry) if entry.ppn != ppn => {
+                // Redundant page: the content already has a stored copy
+                // elsewhere. Absorb all sharers — no flash write.
+                self.gc_stats.dedup_hits += 1;
+                self.tracer.instant(
+                    Track::Gc,
+                    "dedup_drop",
+                    decided,
+                    &[("from", ppn), ("to", entry.ppn), ("refs", u64::from(entry.refs))],
+                );
+                self.absorb_into(ppn, entry.ppn, &fp, decided)?
+            }
+            Some(entry) => {
+                // This page *is* the stored copy: migrate it, choosing
+                // the region by its current reference count.
+                let dest = self.region_for_refs(entry.refs);
+                let src = self.alloc.region_of(victim).unwrap_or(Region::Hot);
+                let (end, _) = self.relocate_page(ppn, dest, Some(fp_stamp(&fp)), decided)?;
+                self.gc_stats.pages_migrated += 1;
+                match (src, dest) {
+                    (Region::Hot, Region::Cold) => self.gc_stats.promotions += 1,
+                    (Region::Cold, Region::Hot) => self.gc_stats.demotions += 1,
+                    _ => {}
+                }
+                end
+            }
+            None => {
+                // First time this content passes through GC: fingerprint
+                // it into the index and place it (a single sharer ⇒ hot).
+                let sharers = self.rmap.count(ppn) as u32;
+                debug_assert!(sharers >= 1, "valid page with no sharers");
+                let dest = self.region_for_refs(sharers);
+                let (end, new_ppn) = self.relocate_page(ppn, dest, Some(fp_stamp(&fp)), decided)?;
+                self.index.insert(fp, new_ppn, sharers);
+                self.gc_stats.pages_migrated += 1;
+                end
+            }
+        };
+        Ok((end, next_ready))
     }
 
     /// Sec. III-C placement rule: refcount above the threshold ⇒ cold.

@@ -6,6 +6,12 @@
 //! worker pool — the repro harness regenerates whole figures in one
 //! pass, and the deterministic partitioning guarantees the worker count
 //! never changes results.
+//!
+//! Cells that replay through the multi-queue host interface
+//! (`cagc-host`, e.g. the queue-depth sweep) don't fit the
+//! `(SsdConfig, &Trace)` shape; they call
+//! [`cagc_harness::pool::map_ordered`] directly with the same
+//! determinism guarantee.
 
 use cagc_workloads::Trace;
 

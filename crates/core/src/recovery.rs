@@ -267,6 +267,10 @@ impl Ssd {
         self.alloc = alloc;
         self.prehash_filter = prehash_filter;
         self.trigger = GcTrigger::new(self.cfg.gc_low, self.cfg.gc_high);
+        // A preemptible GC job suspended across the crash referenced
+        // pre-crash physical state; the rebuilt maps supersede it and the
+        // victim re-enters the candidate pool untouched.
+        self.gc_job = None;
         self.audit().map_err(|e| format!("post-recovery audit failed: {e}"))?;
 
         let recovery_ns = pages_scanned * self.cfg.flash.timing().read_service()

@@ -90,9 +90,12 @@ pub struct LatencySummary {
     pub p50_ns: u64,
     /// 90th percentile.
     pub p90_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
     /// 99th percentile.
     pub p99_ns: u64,
-    /// 99.9th percentile (tail, Fig. 12's regime).
+    /// 99.9th percentile (tail, Fig. 12's regime; exact — order statistic
+    /// from the histogram's retained tail, not a bucket approximation).
     pub p999_ns: u64,
     /// Worst case.
     pub max_ns: u64,
@@ -106,6 +109,7 @@ impl LatencySummary {
             mean_ns: h.mean(),
             p50_ns: h.quantile(0.50),
             p90_ns: h.quantile(0.90),
+            p95_ns: h.quantile(0.95),
             p99_ns: h.quantile(0.99),
             p999_ns: h.quantile(0.999),
             max_ns: h.max(),
@@ -115,11 +119,12 @@ impl LatencySummary {
     /// One-line human rendering.
     pub fn render(&self) -> String {
         format!(
-            "n={} mean={} p50={} p90={} p99={} p99.9={} max={}",
+            "n={} mean={} p50={} p90={} p95={} p99={} p99.9={} max={}",
             self.count,
             fmt_duration(self.mean_ns as u64),
             fmt_duration(self.p50_ns),
             fmt_duration(self.p90_ns),
+            fmt_duration(self.p95_ns),
             fmt_duration(self.p99_ns),
             fmt_duration(self.p999_ns),
             fmt_duration(self.max_ns),
@@ -134,6 +139,7 @@ impl ToJson for LatencySummary {
             ("mean_ns", Json::F64(self.mean_ns)),
             ("p50_ns", Json::U64(self.p50_ns)),
             ("p90_ns", Json::U64(self.p90_ns)),
+            ("p95_ns", Json::U64(self.p95_ns)),
             ("p99_ns", Json::U64(self.p99_ns)),
             ("p999_ns", Json::U64(self.p999_ns)),
             ("max_ns", Json::U64(self.max_ns)),

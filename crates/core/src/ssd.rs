@@ -138,6 +138,9 @@ pub struct Ssd {
     pub(crate) tracer: Tracer,
     /// What the current flash operation is being issued for (span naming).
     pub(crate) tctx: TraceCtx,
+    /// Suspended preemptible GC job ([`crate::SsdConfig::gc_preempt`]);
+    /// always `None` when preemption is off.
+    pub(crate) gc_job: Option<crate::gc::GcJob>,
     end_ns: Nanos,
 }
 
@@ -183,6 +186,7 @@ impl Ssd {
             last_recovery: None,
             tracer: Tracer::disabled(),
             tctx: TraceCtx::Off,
+            gc_job: None,
             end_ns: 0,
             dev,
             cfg,
@@ -226,6 +230,12 @@ impl Ssd {
     /// The trace sink (events, gauges, drop counter).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Mutable trace sink — lets a layer driving this SSD (the host
+    /// interface) emit its own spans and gauges into the same recording.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Chrome trace-event document for the recording: `pid = channel`,

@@ -365,12 +365,121 @@ where
     }
 }
 
+/// Mix a standalone per-case seed from the test's root seed and the case
+/// index (splitmix64 finalizer). Every case draws from its own
+/// `SimRng::seed_from_u64(case_seed(..))` stream, so any single failing
+/// case replays in isolation — that one seed, recorded in a sibling
+/// `.harness-regressions` file, pins the counterexample forever.
+pub fn case_seed(test_seed: u64, case: u32) -> u64 {
+    let mut z = test_seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Locate the regression file sibling to `source_file` (the test file's
+/// `file!()` path with extension `.harness-regressions`). `file!()` paths
+/// are workspace-root-relative while test binaries run from the package
+/// directory, so the path is tried as-is and then joined against every
+/// ancestor of `CARGO_MANIFEST_DIR`.
+fn regressions_path(source_file: &str) -> Option<std::path::PathBuf> {
+    let sibling = std::path::Path::new(source_file).with_extension("harness-regressions");
+    if sibling.exists() {
+        return Some(sibling);
+    }
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    std::path::Path::new(&manifest)
+        .ancestors()
+        .map(|base| base.join(&sibling))
+        .find(|p| p.exists())
+}
+
+/// Parse recorded case seeds for `test` from the sibling regression file.
+/// Line format (one regression per line, `#` starts a comment):
+///
+/// ```text
+/// cc <test_name> 0x<case_seed_hex>   # optional note
+/// ```
+///
+/// Returns `(line_number, case_seed)` pairs; lines for other tests or in
+/// other formats are ignored.
+fn recorded_seeds(source_file: &str, test: &str) -> Vec<(usize, u64)> {
+    let Some(path) = regressions_path(source_file) else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") || parts.next() != Some(test) {
+            continue;
+        }
+        let seed = parts.next().and_then(|tok| {
+            tok.strip_prefix("0x")
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .or_else(|| tok.parse().ok())
+        });
+        if let Some(s) = seed {
+            out.push((i + 1, s));
+        }
+    }
+    out
+}
+
+/// Shrink a failing value to a minimal counterexample and panic with the
+/// replay recipe. `origin` says where the case came from (generated case
+/// number or recorded regression line).
+#[allow(clippy::too_many_arguments)]
+fn shrink_and_panic<S, F>(
+    name: &str,
+    cfg: Config,
+    strat: &S,
+    f: &F,
+    value: S::Value,
+    err: TestCaseError,
+    cseed: u64,
+    origin: &str,
+) -> !
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    // Shrink: greedily accept the first failing candidate until no
+    // candidate fails or the budget runs out.
+    let mut current = value;
+    let mut current_err = err;
+    let mut steps = 0u32;
+    'shrinking: while steps < cfg.max_shrink_steps {
+        for cand in strat.shrink(&current) {
+            if let Err(e) = eval(f, &cand) {
+                current = cand;
+                current_err = e;
+                steps += 1;
+                continue 'shrinking;
+            }
+        }
+        break;
+    }
+
+    panic!(
+        "property `{name}` failed {origin} \
+         (case seed {cseed:#x}, {steps} shrink steps)\n\
+         minimal failing input: {current:?}\n\
+         error: {current_err}\n\
+         pin it: add `cc {name} {cseed:#x}` to the test file's sibling \
+         `.harness-regressions` so the case replays before novel ones"
+    );
+}
+
 /// Run the property `f` over `cfg.cases` values generated by `strat`.
 ///
-/// On failure the input is shrunk (bounded by `cfg.max_shrink_steps`
+/// Each case draws from its own seeded stream (see [`case_seed`]). On
+/// failure the input is shrunk (bounded by `cfg.max_shrink_steps`
 /// accepted simplifications) and the minimal failing value is reported
-/// in the panic message together with the seed information needed to
-/// replay the run.
+/// in the panic message together with the one seed needed to replay it.
 ///
 /// # Panics
 /// Panics when a case fails — this is the test-failure path.
@@ -379,36 +488,44 @@ where
     S: Strategy,
     F: Fn(S::Value) -> Result<(), TestCaseError>,
 {
+    run_with_source(name, cfg, None, strat, f);
+}
+
+/// [`run`], plus regression replay: when `source_file` (the test file's
+/// `file!()`) has a sibling `<stem>.harness-regressions`, every case seed
+/// recorded there for this test is generated and checked *before* any
+/// novel cases — previously-found counterexamples stay found. The
+/// [`harness_proptest!`](crate::harness_proptest) macro routes here.
+///
+/// # Panics
+/// Panics when a case fails — this is the test-failure path.
+pub fn run_with_source<S, F>(name: &str, cfg: Config, source_file: Option<&str>, strat: S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
     let seed = cagc_sim::derive_seed(root_seed(), name);
     let cases = env_cases().unwrap_or(cfg.cases).max(1);
-    let mut rng = SimRng::seed_from_u64(seed);
-    for case in 0..cases {
-        let value = strat.generate(&mut rng);
-        let Err(err) = eval(&f, &value) else { continue };
 
-        // Shrink: greedily accept the first failing candidate until no
-        // candidate fails or the budget runs out.
-        let mut current = value;
-        let mut current_err = err;
-        let mut steps = 0u32;
-        'shrinking: while steps < cfg.max_shrink_steps {
-            for cand in strat.shrink(&current) {
-                if let Err(e) = eval(&f, &cand) {
-                    current = cand;
-                    current_err = e;
-                    steps += 1;
-                    continue 'shrinking;
-                }
+    if let Some(src) = source_file {
+        for (line, cseed) in recorded_seeds(src, name) {
+            let mut rng = SimRng::seed_from_u64(cseed);
+            let value = strat.generate(&mut rng);
+            if let Err(err) = eval(&f, &value) {
+                let origin = format!("on recorded regression (line {line} of the sibling of {src})");
+                shrink_and_panic(name, cfg, &strat, &f, value, err, cseed, &origin);
             }
-            break;
         }
+    }
 
-        panic!(
-            "property `{name}` failed at case {case}/{cases} \
-             (seed {seed:#x}, {steps} shrink steps)\n\
-             minimal failing input: {current:?}\n\
-             error: {current_err}"
-        );
+    for case in 0..cases {
+        let cseed = case_seed(seed, case);
+        let mut rng = SimRng::seed_from_u64(cseed);
+        let value = strat.generate(&mut rng);
+        if let Err(err) = eval(&f, &value) {
+            let origin = format!("at case {case}/{cases}");
+            shrink_and_panic(name, cfg, &strat, &f, value, err, cseed, &origin);
+        }
     }
 }
 
@@ -491,9 +608,10 @@ macro_rules! harness_proptest {
         $(
             $(#[$meta])*
             fn $name() {
-                $crate::prop::run(
+                $crate::prop::run_with_source(
                     ::core::stringify!($name),
                     $crate::prop::Config::with_cases($cases),
+                    ::core::option::Option::Some(::core::file!()),
                     ($($strat,)+),
                     |__value| {
                         let ($($arg,)+) = __value;
@@ -632,5 +750,58 @@ mod tests {
         assert_eq!(saw, [true, true]);
         assert_eq!(any::<bool>().shrink(&true), vec![false]);
         assert!(any::<u64>().shrink(&0).is_empty());
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..100).map(|c| case_seed(7, c)).collect();
+        let b: Vec<u64> = (0..100).map(|c| case_seed(7, c)).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "case seeds must not collide");
+        assert_ne!(case_seed(7, 0), case_seed(8, 0), "root seed must matter");
+    }
+
+    /// A seed recorded in the sibling `.harness-regressions` file replays
+    /// before any novel case: the failure message names the recorded
+    /// regression, and lines for other tests or in foreign formats are
+    /// ignored.
+    #[test]
+    fn recorded_regressions_replay_before_novel_cases() {
+        let dir = std::env::temp_dir().join("cagc_harness_regression_replay_test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let src = dir.join("fake_prop_file.rs");
+        let reg = dir.join("fake_prop_file.harness-regressions");
+        std::fs::write(
+            &reg,
+            "# header comment\n\
+             cc other_prop 0x1\n\
+             cc 714a66dc13ffb1341a5060b1460083fb # legacy proptest hash, skipped\n\
+             cc my_prop 0x2a # pinned counterexample\n",
+        )
+        .expect("write regressions file");
+
+        // The property fails on exactly the value seed 0x2a generates.
+        let mut rng = SimRng::seed_from_u64(0x2a);
+        let bad = (0u64..1_000_000).generate(&mut rng);
+        let src_str = src.to_str().expect("utf8 path").to_string();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_with_source(
+                "my_prop",
+                Config::with_cases(1),
+                Some(&src_str),
+                0u64..1_000_000,
+                fails_when(move |&v| v == bad),
+            );
+        }));
+        let msg = *r.expect_err("recorded case must fail").downcast::<String>().expect("string panic");
+        assert!(msg.contains("recorded regression"), "got: {msg}");
+        assert!(msg.contains("0x2a"), "got: {msg}");
+
+        // A property that no longer fails sails through replay + novel cases.
+        run_with_source("my_prop", Config::with_cases(4), Some(&src_str), 0u64..1_000_000, |_| Ok(()));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

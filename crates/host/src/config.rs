@@ -1,0 +1,136 @@
+//! Host-interface configuration: queue shape, doorbell and interrupt
+//! behavior, per-command controller costs.
+
+use cagc_sim::time::Nanos;
+
+/// Configuration of the NVMe-style host interface.
+///
+/// Two presets cover the common cases: [`HostConfig::passthrough`] is the
+/// zero-overhead single-queue shape whose open-loop replay is byte-identical
+/// to [`cagc_core::Ssd::replay`], and [`HostConfig::nvme`] is a realistic
+/// multi-queue controller with doorbell batching and interrupt coalescing.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Number of submission/completion queue pairs. Commands are assigned
+    /// round-robin across pairs (a deterministic stand-in for per-core
+    /// queues).
+    pub queue_pairs: u32,
+    /// Slots per pair: a command occupies one slot from submission until
+    /// its completion is reaped. Open-loop arrivals beyond this backlog
+    /// host-side; closed-loop replay keeps exactly this many commands
+    /// outstanding per pair (fio `iodepth` semantics).
+    pub queue_depth: u32,
+    /// Doorbell batching: the doorbell rings once this many submissions
+    /// accumulate. `1` rings on every submission (classic NVMe).
+    pub doorbell_batch: u32,
+    /// Backstop for batching: an un-rung submission queue flushes this
+    /// long after its first pending entry. Ignored when
+    /// `doorbell_batch == 1`.
+    pub doorbell_flush_ns: Nanos,
+    /// Interrupt coalescing: the completion interrupt fires once this many
+    /// completions are pending. `1` interrupts on every completion.
+    pub coalesce_depth: u32,
+    /// Coalescing timeout: pending completions are delivered at most this
+    /// long after the first one. Ignored when `coalesce_depth == 1`.
+    pub coalesce_ns: Nanos,
+    /// Controller cost to fetch a command after the doorbell (submission
+    /// queue read + decode).
+    pub fetch_ns: Nanos,
+    /// Controller cost to post one completion entry.
+    pub completion_ns: Nanos,
+    /// Pump preemptible GC in host-idle windows: whenever no command is
+    /// queued or in flight, run [`cagc_core::Ssd::gc_pump`] quanta until
+    /// work arrives. Requires `gc_preempt` on the device to have any
+    /// effect.
+    pub gc_pump: bool,
+}
+
+impl HostConfig {
+    /// Zero-overhead single-queue shape: one pair, unbounded depth, every
+    /// submission rings the doorbell, every completion interrupts, no
+    /// controller costs, no pumping. Open-loop replay through this config
+    /// executes each command at its arrival time in trace order — byte
+    /// identical to the synchronous [`cagc_core::Ssd::replay`] path.
+    pub fn passthrough() -> Self {
+        Self {
+            queue_pairs: 1,
+            queue_depth: u32::MAX,
+            doorbell_batch: 1,
+            doorbell_flush_ns: 0,
+            coalesce_depth: 1,
+            coalesce_ns: 0,
+            fetch_ns: 0,
+            completion_ns: 0,
+            gc_pump: false,
+        }
+    }
+
+    /// A realistic NVMe-flavored controller: the given queue shape,
+    /// per-command fetch/completion costs, and interrupt coalescing.
+    pub fn nvme(queue_pairs: u32, queue_depth: u32) -> Self {
+        Self {
+            queue_pairs,
+            queue_depth,
+            doorbell_batch: 1,
+            doorbell_flush_ns: 2_000,
+            coalesce_depth: 4,
+            coalesce_ns: 8_000,
+            fetch_ns: 200,
+            completion_ns: 300,
+            gc_pump: true,
+        }
+    }
+
+    /// Sanity-check the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_pairs == 0 {
+            return Err("queue_pairs must be >= 1".into());
+        }
+        if self.queue_depth == 0 {
+            return Err("queue_depth must be >= 1".into());
+        }
+        if self.doorbell_batch == 0 {
+            return Err("doorbell_batch must be >= 1".into());
+        }
+        if self.doorbell_batch > 1 && self.doorbell_flush_ns == 0 {
+            return Err("doorbell_batch > 1 needs a nonzero flush timeout".into());
+        }
+        if self.coalesce_depth == 0 {
+            return Err("coalesce_depth must be >= 1".into());
+        }
+        if self.coalesce_depth > 1 && self.coalesce_ns == 0 {
+            return Err("coalesce_depth > 1 needs a nonzero coalesce timeout".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        HostConfig::passthrough().validate().unwrap();
+        HostConfig::nvme(4, 32).validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_shapes_are_rejected() {
+        let mut c = HostConfig::passthrough();
+        c.queue_pairs = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = HostConfig::passthrough();
+        c.queue_depth = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = HostConfig::passthrough();
+        c.doorbell_batch = 4; // batching with no flush backstop would hang
+        assert!(c.validate().is_err());
+
+        let mut c = HostConfig::passthrough();
+        c.coalesce_depth = 4;
+        assert!(c.validate().is_err());
+    }
+}

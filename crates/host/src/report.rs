@@ -1,0 +1,95 @@
+//! Host-observed replay results: end-to-end latency summaries, interface
+//! counters, and the embedded device-level [`RunReport`].
+
+use cagc_core::{LatencySummary, RunReport};
+use cagc_harness::{Json, ToJson};
+use cagc_metrics::Cdf;
+use cagc_sim::time::{fmt_duration, Nanos};
+
+/// Result of one host-interface replay.
+///
+/// All latencies are *host-observed*: from the moment the host wanted the
+/// I/O (open-loop: trace arrival; closed-loop: submission) to the
+/// interrupt that delivered its completion. The embedded [`device`] report
+/// carries the device-side view of the same run, so the two can be
+/// compared directly — the gap is queueing plus interface overhead.
+///
+/// [`device`]: HostReport::device
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// `"open-loop"` or `"closed-loop"`.
+    pub mode: &'static str,
+    /// Queue pairs the run used.
+    pub queue_pairs: u32,
+    /// Slots per pair.
+    pub queue_depth: u32,
+    /// End-to-end latency over every command.
+    pub all: LatencySummary,
+    /// End-to-end latency of reads.
+    pub reads: LatencySummary,
+    /// End-to-end latency of writes.
+    pub writes: LatencySummary,
+    /// Host-side wait: wanted → doorbell dispatch (queueing only, no
+    /// device service).
+    pub queue_wait: LatencySummary,
+    /// Full read-latency CDF (the per-QD Fig. 12-style curve).
+    pub read_cdf: Cdf,
+    /// Doorbell rings (submission batches issued to the controller).
+    pub doorbells: u64,
+    /// Completion interrupts fired (coalescing makes this < completions).
+    pub irqs: u64,
+    /// Open-loop arrivals that found their pair full and waited host-side.
+    pub backlogged: u64,
+    /// Idle-window GC quanta the host pumped through the device.
+    pub pump_slices: u64,
+    /// Highest total slot occupancy observed across all pairs.
+    pub peak_occupancy: u64,
+    /// The device-side report for the same run.
+    pub device: RunReport,
+    /// Simulated time of the last event.
+    pub end_ns: Nanos,
+}
+
+impl HostReport {
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "host {} pairs={} qd={} end={}\n  all:    {}\n  reads:  {}\n  writes: {}\n  wait:   {}\n  doorbells={} irqs={} backlogged={} pump_slices={} peak_occupancy={}",
+            self.mode,
+            self.queue_pairs,
+            self.queue_depth,
+            fmt_duration(self.end_ns),
+            self.all.render(),
+            self.reads.render(),
+            self.writes.render(),
+            self.queue_wait.render(),
+            self.doorbells,
+            self.irqs,
+            self.backlogged,
+            self.pump_slices,
+            self.peak_occupancy,
+        )
+    }
+}
+
+impl ToJson for HostReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::Str(self.mode.to_string())),
+            ("queue_pairs", Json::U64(u64::from(self.queue_pairs))),
+            ("queue_depth", Json::U64(u64::from(self.queue_depth))),
+            ("all", self.all.to_json()),
+            ("reads", self.reads.to_json()),
+            ("writes", self.writes.to_json()),
+            ("queue_wait", self.queue_wait.to_json()),
+            ("read_cdf", self.read_cdf.to_json()),
+            ("doorbells", Json::U64(self.doorbells)),
+            ("irqs", Json::U64(self.irqs)),
+            ("backlogged", Json::U64(self.backlogged)),
+            ("pump_slices", Json::U64(self.pump_slices)),
+            ("peak_occupancy", Json::U64(self.peak_occupancy)),
+            ("device", self.device.to_json()),
+            ("end_ns", Json::U64(self.end_ns)),
+        ])
+    }
+}

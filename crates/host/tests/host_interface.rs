@@ -1,0 +1,162 @@
+//! Integration tests for the multi-queue host interface: the passthrough
+//! identity with the synchronous replay path, closed-loop QD=1 equivalence,
+//! determinism, coalescing, backpressure, and the idle GC pump.
+
+use cagc_core::{Scheme, Ssd, SsdConfig};
+use cagc_harness::ToJson;
+use cagc_host::{HostConfig, HostInterface};
+use cagc_workloads::{Request, SynthConfig, Trace};
+
+fn churn_trace(seed: u64, requests: usize, mean_interarrival_ns: u64) -> Trace {
+    let flash = cagc_flash::UllConfig::tiny_for_tests();
+    SynthConfig {
+        name: "churn".into(),
+        requests,
+        logical_pages: (flash.logical_pages() as f64 * 0.93) as u64,
+        write_ratio: 0.8,
+        dedup_ratio: 0.4,
+        mean_req_pages: 2.5,
+        max_req_pages: 8,
+        mean_interarrival_ns,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// The passthrough shape (one pair, unbounded depth, zero costs) feeds the
+/// device the exact sequence `Ssd::replay` would: the device-side report
+/// must be byte-identical, for every scheme.
+#[test]
+fn passthrough_open_loop_matches_synchronous_replay() {
+    let trace = churn_trace(11, 6_000, 200_000);
+    for scheme in Scheme::EXTENDED {
+        let mut sync = Ssd::new(SsdConfig::tiny(scheme));
+        let want = sync.replay(&trace).to_json().render();
+
+        let mut host = HostInterface::new(Ssd::new(SsdConfig::tiny(scheme)), HostConfig::passthrough());
+        let report = host.replay_open_loop(&trace);
+        host.ssd().audit().expect("audit after passthrough replay");
+        assert_eq!(
+            report.device.to_json().render(),
+            want,
+            "{} passthrough diverged from Ssd::replay",
+            scheme.name()
+        );
+        assert_eq!(report.backlogged, 0, "unbounded depth never backlogs");
+        assert_eq!(report.all.count, trace.requests.len() as u64);
+    }
+}
+
+/// Closed-loop QD=1 with zero interface costs is the synchronous chain
+/// `t = process(at = t)`: each command issued the instant its predecessor
+/// completes.
+#[test]
+fn closed_loop_qd1_matches_sequential_reference() {
+    let trace = churn_trace(13, 6_000, 200_000);
+    let mut reference = Ssd::new(SsdConfig::tiny(Scheme::Cagc));
+    let mut t = 0;
+    for r in &trace.requests {
+        t = reference.process(&Request { at_ns: t, ..r.clone() });
+    }
+    let want = reference.report(&trace.name).to_json().render();
+
+    let mut cfg = HostConfig::passthrough();
+    cfg.queue_depth = 1;
+    let mut host = HostInterface::new(Ssd::new(SsdConfig::tiny(Scheme::Cagc)), cfg);
+    let report = host.replay_closed_loop(&trace);
+    host.ssd().audit().expect("audit after closed-loop replay");
+    assert_eq!(report.device.to_json().render(), want);
+    assert_eq!(report.end_ns, t, "last reap is the last completion");
+}
+
+/// Same trace, same config, preemptible GC and the realistic NVMe shape:
+/// two runs must produce byte-identical host reports.
+#[test]
+fn multi_queue_replay_is_deterministic() {
+    let trace = churn_trace(17, 6_000, 50_000);
+    let run = || {
+        let mut dev = SsdConfig::tiny(Scheme::Cagc);
+        dev.gc_preempt = true;
+        dev.gc_slice_pages = 4;
+        let mut host = HostInterface::new(Ssd::new(dev), HostConfig::nvme(2, 8));
+        let r = host.replay_closed_loop(&trace);
+        host.ssd().audit().expect("audit after nvme replay");
+        r.to_json().render()
+    };
+    assert_eq!(run(), run());
+}
+
+/// With coalescing depth > 1, completions are delivered in bursts: fewer
+/// interrupts than commands.
+#[test]
+fn coalescing_reduces_interrupts() {
+    let trace = churn_trace(19, 4_000, 200_000);
+    let mut cfg = HostConfig::passthrough();
+    cfg.queue_depth = 8;
+    cfg.coalesce_depth = 4;
+    cfg.coalesce_ns = 8_000;
+    let mut host = HostInterface::new(Ssd::new(SsdConfig::tiny(Scheme::Cagc)), cfg);
+    let report = host.replay_closed_loop(&trace);
+    assert_eq!(report.all.count, trace.requests.len() as u64);
+    assert!(
+        report.irqs < report.all.count,
+        "coalescing fired {} irqs for {} commands",
+        report.irqs,
+        report.all.count
+    );
+}
+
+/// Open-loop arrivals faster than the device can serve, into a single
+/// depth-1 pair: the backlog must absorb them and every command must still
+/// be reaped with its latency counted from arrival.
+#[test]
+fn shallow_queue_backpressure_backlogs_arrivals() {
+    let trace = churn_trace(23, 4_000, 500);
+    let mut cfg = HostConfig::passthrough();
+    cfg.queue_depth = 1;
+    let mut host = HostInterface::new(Ssd::new(SsdConfig::tiny(Scheme::Cagc)), cfg);
+    let report = host.replay_open_loop(&trace);
+    host.ssd().audit().expect("audit after backpressure replay");
+    assert!(report.backlogged > 0, "depth-1 queue under overload must backlog");
+    assert_eq!(report.all.count, trace.requests.len() as u64);
+    assert!(
+        report.queue_wait.max_ns > 0,
+        "backlogged commands wait before dispatch"
+    );
+}
+
+/// Four pairs share the load; everything completes and peak occupancy
+/// exceeds what one pair could hold.
+#[test]
+fn commands_spread_across_pairs() {
+    let trace = churn_trace(29, 4_000, 200_000);
+    let mut host = HostInterface::new(Ssd::new(SsdConfig::tiny(Scheme::Cagc)), HostConfig::nvme(4, 4));
+    let report = host.replay_closed_loop(&trace);
+    host.ssd().audit().expect("audit after 4-pair replay");
+    assert_eq!(report.all.count, trace.requests.len() as u64);
+    assert!(
+        report.peak_occupancy > 4,
+        "four pairs at depth 4 should exceed one pair's worth of slots (peak {})",
+        report.peak_occupancy
+    );
+}
+
+/// With preemptible GC on the device and the pump enabled, an open-loop
+/// trace with wide idle gaps lets the host reclaim space between bursts.
+#[test]
+fn idle_windows_pump_preemptible_gc() {
+    let trace = churn_trace(31, 8_000, 400_000);
+    let mut dev = SsdConfig::tiny(Scheme::Cagc);
+    dev.gc_preempt = true;
+    dev.gc_slice_pages = 4;
+    let mut cfg = HostConfig::nvme(1, 8);
+    cfg.gc_pump = true;
+    let mut host = HostInterface::new(Ssd::new(dev), cfg);
+    let report = host.replay_open_loop(&trace);
+    host.ssd().audit().expect("audit after pumped replay");
+    assert!(
+        report.pump_slices > 0,
+        "idle windows on a churning device should pump GC quanta"
+    );
+}

@@ -6,10 +6,18 @@
 //! the full `u64` range in constant memory. Used for response-time
 //! distributions (Fig. 11 means, Fig. 12 CDFs, tail percentiles).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 const SUB_BITS: u32 = 6;
 const SUB_COUNT: usize = 1 << SUB_BITS;
 /// Number of top-level (exponent) tiers.
 const TIERS: usize = 64 - SUB_BITS as usize;
+/// Exact values retained for the upper tail: quantiles whose rank falls
+/// within the largest `TAIL_KEEP` recorded values (p99.9 of a ≤1M-sample
+/// run, every quantile of a ≤1024-sample run) are exact order statistics,
+/// not bucket approximations. Bounded memory, O(log TAIL_KEEP) per record.
+const TAIL_KEEP: usize = 1024;
 
 /// A fixed-memory log-bucket histogram over `u64` values (nanoseconds).
 #[derive(Debug, Clone)]
@@ -19,6 +27,8 @@ pub struct Histogram {
     sum: u128,
     min: u64,
     max: u64,
+    /// Min-heap holding the largest `TAIL_KEEP` values seen (exact tail).
+    tail: BinaryHeap<Reverse<u64>>,
 }
 
 impl Default for Histogram {
@@ -36,6 +46,20 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            tail: BinaryHeap::with_capacity(TAIL_KEEP),
+        }
+    }
+
+    /// Offer `v` to the exact-tail heap, evicting the smallest retained
+    /// value when full. The retained *multiset* is the top `TAIL_KEEP`
+    /// values regardless of insertion order.
+    #[inline]
+    fn tail_push(&mut self, v: u64) {
+        if self.tail.len() < TAIL_KEEP {
+            self.tail.push(Reverse(v));
+        } else if self.tail.peek().is_some_and(|&Reverse(floor)| v > floor) {
+            self.tail.pop();
+            self.tail.push(Reverse(v));
         }
     }
 
@@ -71,6 +95,7 @@ impl Histogram {
         self.sum += v as u128;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        self.tail_push(v);
     }
 
     /// Record `n` occurrences of `v`.
@@ -83,6 +108,11 @@ impl Histogram {
         self.sum += v as u128 * n as u128;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        // More than TAIL_KEEP copies are indistinguishable in a top-K
+        // multiset, so capping the pushes preserves tail exactness.
+        for _ in 0..n.min(TAIL_KEEP as u64) {
+            self.tail_push(v);
+        }
     }
 
     /// Number of recorded values.
@@ -113,8 +143,12 @@ impl Histogram {
         self.max
     }
 
-    /// Value at quantile `q ∈ [0,1]` (approximate within bucket error;
-    /// min/max are exact at the extremes). Returns 0 when empty.
+    /// Value at quantile `q ∈ [0,1]`. Quantiles whose rank lands within the
+    /// retained exact tail (the largest [`TAIL_KEEP`] values — p99.9 of a
+    /// million-sample run, *every* quantile of a small run) are exact order
+    /// statistics; lower ranks fall back to the bucket approximation
+    /// (≈1.6 % relative error). Min/max are always exact. Returns 0 when
+    /// empty.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -127,6 +161,15 @@ impl Histogram {
             return self.max;
         }
         let target = (q * self.count as f64).ceil() as u64;
+        let from_top = self.count - target; // 0 = the maximum
+        if (from_top as usize) < self.tail.len() {
+            // Rank falls inside the exact tail: return the true order
+            // statistic. Queries are rare (report time), so sorting a copy
+            // here beats paying for ordering on every record.
+            let mut sorted: Vec<u64> = self.tail.iter().map(|r| r.0).collect();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            return sorted[from_top as usize];
+        }
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -156,6 +199,10 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        // Top-K of a union is the top-K of the two top-Ks.
+        for &Reverse(v) in other.tail.iter() {
+            self.tail_push(v);
+        }
     }
 }
 
@@ -239,6 +286,75 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), 1_000);
         assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn tail_quantiles_are_exact_order_statistics() {
+        // With fewer than TAIL_KEEP samples, *every* quantile is exact.
+        let mut h = Histogram::new();
+        let mut vals: Vec<u64> = (0..800u64).map(|i| 10_007 * (i * 37 % 800) + 991).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999] {
+            let target = (q * vals.len() as f64).ceil() as usize;
+            let exact = vals[target - 1];
+            assert_eq!(h.quantile(q), exact, "q={q} not exact");
+        }
+        assert_eq!(h.quantile(1.0), *vals.last().unwrap());
+    }
+
+    #[test]
+    fn tail_stays_exact_past_capacity() {
+        // 100k samples: p50 uses buckets, but p99.9 ranks inside the
+        // retained top-1024 and must be the true order statistic.
+        let mut h = Histogram::new();
+        let mut vals: Vec<u64> = (0..100_000u64).map(|i| 1_000 + (i * 48_271 % 100_000) * 173).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.99, 0.999, 0.9999] {
+            let target = (q * vals.len() as f64).ceil() as usize;
+            assert_eq!(h.quantile(q), vals[target - 1], "q={q} not exact");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_exact_tail() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Vec::new();
+        for i in 0..3_000u64 {
+            let v = 5_000 + (i * 127) % 90_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.push(v);
+        }
+        a.merge(&b);
+        all.sort_unstable();
+        let target = (0.999 * all.len() as f64).ceil() as usize;
+        assert_eq!(a.quantile(0.999), all[target - 1]);
+        assert_eq!(a.max(), *all.last().unwrap());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record_in_the_tail() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..2_000 {
+            a.record(7_777);
+        }
+        a.record(9_999);
+        b.record_n(7_777, 2_000);
+        b.record(9_999);
+        for q in [0.5, 0.999, 0.9999, 1.0] {
+            assert_eq!(a.quantile(q), b.quantile(q), "q={q}");
+        }
     }
 
     #[test]

@@ -38,6 +38,81 @@ harness_proptest! {
         prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
     }
 
+    /// All events at one timestamp pop in exactly their push order — the
+    /// FIFO tie-break is total, not merely pairwise.
+    #[test]
+    fn same_timestamp_events_pop_in_push_order(
+        n in 1usize..300,
+        t in 0u64..1_000,
+    ) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(t, i);
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Interleaving scheduling with popping never reorders causally
+    /// dependent events: an event scheduled *while handling* another (at a
+    /// timestamp >= the handler's) always pops after it — even at zero
+    /// delay, where only the FIFO tie-break separates parent and child.
+    /// This is the property the host interface's doorbell/completion/irq
+    /// event chains lean on.
+    #[test]
+    fn interleaved_schedule_pop_preserves_causal_order(
+        delays in vec((0u64..300, 0u64..300), 1..100)
+    ) {
+        // Payload: (id, parent id). Each handled event schedules two
+        // children at `now + d1` / `now + d2`; one event is handled per
+        // script step, the rest drain at the end.
+        let mut q = EventQueue::new();
+        q.push(0, (0usize, usize::MAX));
+        let mut next_id = 1usize;
+        let mut parent_of: Vec<usize> = vec![usize::MAX];
+        let mut pop_index: Vec<Option<usize>> = vec![None];
+        let mut pops = 0usize;
+        let mut now = 0u64;
+        let handle = |ev: &cagc_sim::event::Event<(usize, usize)>,
+                      now: &mut u64,
+                      pops: &mut usize,
+                      pop_index: &mut Vec<Option<usize>>|
+         -> Result<(), TestCaseError> {
+            if ev.at < *now {
+                return Err(TestCaseError::fail("time went backwards"));
+            }
+            *now = ev.at;
+            pop_index[ev.payload.0] = Some(*pops);
+            *pops += 1;
+            Ok(())
+        };
+        for &(d1, d2) in &delays {
+            let ev = q.pop().expect("queue never runs dry while scheduling");
+            handle(&ev, &mut now, &mut pops, &mut pop_index)?;
+            let (id, at) = (ev.payload.0, ev.at);
+            for d in [d1, d2] {
+                q.push(at + d, (next_id, id));
+                parent_of.push(id);
+                pop_index.push(None);
+                next_id += 1;
+            }
+        }
+        while let Some(ev) = q.pop() {
+            handle(&ev, &mut now, &mut pops, &mut pop_index)?;
+        }
+        for (child, &parent) in parent_of.iter().enumerate() {
+            if parent == usize::MAX {
+                continue;
+            }
+            let c = pop_index[child].expect("every scheduled event pops");
+            let p = pop_index[parent].expect("parents popped before scheduling");
+            prop_assert!(
+                c > p,
+                "child {child} (pop #{c}) overtook its parent {parent} (pop #{p})"
+            );
+        }
+    }
+
     /// Timeline invariants: service is in-order and non-overlapping, every
     /// reservation starts no earlier than requested, and total busy time is
     /// the sum of durations.

@@ -22,6 +22,12 @@ pub enum Track {
     },
     /// Host-visible request lifecycle (queueing and service).
     Host,
+    /// One NVMe-style submission/completion queue pair of the host
+    /// interface (doorbells, interrupts, occupancy).
+    Queue {
+        /// Queue-pair index (Chrome `tid = 4 + pair` on the FTL process).
+        pair: u32,
+    },
     /// Garbage-collection machinery (victim selection through erase).
     Gc,
     /// Content fingerprinting (hash engine).

@@ -17,6 +17,8 @@ const FTL_TID_HOST: u64 = 0;
 const FTL_TID_GC: u64 = 1;
 const FTL_TID_HASH: u64 = 2;
 const FTL_TID_FAULT: u64 = 3;
+/// Queue-pair tracks follow the fixed FTL tids: `tid = 4 + pair`.
+const FTL_TID_QUEUE_BASE: u64 = 4;
 
 fn pid_tid(track: Track, channels: u32) -> (u64, u64) {
     match track {
@@ -25,6 +27,7 @@ fn pid_tid(track: Track, channels: u32) -> (u64, u64) {
         Track::Gc => (u64::from(channels), FTL_TID_GC),
         Track::Hash => (u64::from(channels), FTL_TID_HASH),
         Track::Fault => (u64::from(channels), FTL_TID_FAULT),
+        Track::Queue { pair } => (u64::from(channels), FTL_TID_QUEUE_BASE + u64::from(pair)),
     }
 }
 
@@ -35,6 +38,7 @@ fn category(track: Track) -> &'static str {
         Track::Gc => "gc",
         Track::Hash => "hash",
         Track::Fault => "fault",
+        Track::Queue { .. } => "queue",
     }
 }
 
@@ -131,6 +135,7 @@ pub fn chrome_trace(tracer: &Tracer, channels: u32) -> Json {
             Track::Gc => "gc".to_string(),
             Track::Hash => "hash".to_string(),
             Track::Fault => "fault".to_string(),
+            Track::Queue { pair } => format!("queue {pair}"),
         };
         events.push(metadata(pid, tid, "thread_name", label));
     }
@@ -174,6 +179,10 @@ fn jsonl_track(track: Track) -> Vec<(String, Json)> {
         Track::Gc => vec![("track".into(), Json::Str("gc".into()))],
         Track::Hash => vec![("track".into(), Json::Str("hash".into()))],
         Track::Fault => vec![("track".into(), Json::Str("fault".into()))],
+        Track::Queue { pair } => vec![
+            ("track".into(), Json::Str("queue".into())),
+            ("pair".into(), Json::U64(u64::from(pair))),
+        ],
     }
 }
 
@@ -275,6 +284,18 @@ mod tests {
         }
         assert!(lines[0].contains(r#""track":"die","channel":1,"die":3"#));
         assert!(lines[4].contains(r#""track":"gauge""#));
+    }
+
+    #[test]
+    fn queue_track_maps_onto_the_ftl_process() {
+        let mut t = Tracer::enabled(TraceConfig::default());
+        t.span(Track::Queue { pair: 1 }, "sq_busy", 1_000, 2_000, &[("depth", 3)]);
+        let text = chrome_trace(&t, 2).render();
+        assert!(text.contains(r#""thread_name","args":{"name":"queue 1"}"#));
+        // tid = FTL_TID_QUEUE_BASE + pair on the ftl process (pid = channels).
+        assert!(text.contains(r#""cat":"queue","ph":"X","ts":1,"dur":1,"pid":2,"tid":5"#));
+        let line = jsonl(&t);
+        assert!(line.contains(r#""track":"queue","pair":1"#));
     }
 
     #[test]

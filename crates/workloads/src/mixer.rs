@@ -97,6 +97,41 @@ pub fn inject_trims(
     )
 }
 
+/// Re-time a trace as an open-loop Poisson arrival process: request order
+/// is preserved, but the gaps between consecutive arrivals are redrawn as
+/// i.i.d. exponentials with the given mean. This turns any access pattern
+/// into a memoryless arrival stream — the canonical open-loop driver for
+/// queue-depth studies, where bursts must come from the *process*, not
+/// from whatever clock the original generator used.
+///
+/// Seeded and deterministic: same inputs, same byte-identical trace.
+///
+/// # Panics
+/// Panics if `mean_interarrival_ns` is zero.
+pub fn retime_poisson(t: &Trace, mean_interarrival_ns: u64, seed: u64) -> Trace {
+    assert!(mean_interarrival_ns > 0, "mean interarrival must be positive");
+    let mut rng = cagc_sim::SimRng::seed_from_u64(seed ^ 0x9035_7A11);
+    let mut at = 0u64;
+    let requests = t
+        .requests
+        .iter()
+        .map(|r| {
+            // Inverse-CDF exponential; clamp the uniform away from 0 so the
+            // log is finite. Gaps round to >= 1 ns, keeping arrivals
+            // strictly increasing (FIFO ties never depend on the sort).
+            let u = rng.next_f64().max(f64::MIN_POSITIVE);
+            let gap = (-u.ln() * mean_interarrival_ns as f64).round().max(1.0) as u64;
+            at += gap;
+            Request { at_ns: at, ..r.clone() }
+        })
+        .collect();
+    Trace::new(
+        format!("{}@poisson{mean_interarrival_ns}", t.name),
+        t.logical_pages,
+        requests,
+    )
+}
+
 /// Keep only the first `n` requests.
 pub fn truncate(t: &Trace, n: usize) -> Trace {
     Trace::new(
@@ -229,6 +264,45 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn inject_trims_rejects_bad_fraction() {
         inject_trims(&small(1), 1.5, 4, 0);
+    }
+
+    #[test]
+    fn retime_poisson_preserves_order_and_is_deterministic() {
+        let a = small(8);
+        let p1 = retime_poisson(&a, 50_000, 9);
+        let p2 = retime_poisson(&a, 50_000, 9);
+        assert_eq!(p1.requests, p2.requests, "same seed, same arrivals");
+        p1.validate().unwrap();
+        assert_eq!(p1.len(), a.len());
+        // Only the clock changed: op sequence, extents and contents are
+        // untouched, and arrivals are strictly increasing.
+        for (orig, re) in a.requests.iter().zip(&p1.requests) {
+            assert_eq!(orig.kind, re.kind);
+            assert_eq!(orig.lpn, re.lpn);
+            assert_eq!(orig.pages, re.pages);
+            assert_eq!(orig.contents, re.contents);
+        }
+        for w in p1.requests.windows(2) {
+            assert!(w[0].at_ns < w[1].at_ns);
+        }
+        // The realized mean gap lands near the requested mean.
+        let span = p1.requests.last().unwrap().at_ns - p1.requests[0].at_ns;
+        let mean = span as f64 / (p1.len() - 1) as f64;
+        assert!((mean / 50_000.0 - 1.0).abs() < 0.25, "mean gap {mean} vs 50000");
+    }
+
+    #[test]
+    fn retime_poisson_rate_scales_with_mean() {
+        let a = small(9);
+        let fast = retime_poisson(&a, 10_000, 3);
+        let slow = retime_poisson(&a, 200_000, 3);
+        assert!(fast.requests.last().unwrap().at_ns < slow.requests.last().unwrap().at_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn retime_poisson_rejects_zero_mean() {
+        retime_poisson(&small(1), 0, 1);
     }
 
     #[test]

@@ -9,8 +9,15 @@
 //!
 //! ```bash
 //! cargo run --release --example latency_timeline
+//! cargo run --release --example latency_timeline -- --qd 8
 //! cargo run --release --example latency_timeline -- --trace cagc.trace.json
 //! ```
+//!
+//! With `--qd <n>` the replay goes through the multi-queue host interface
+//! (`cagc-host`) closed-loop at that depth instead of the synchronous
+//! request-at-a-time path: per-request completion latency is then
+//! *host-observed* (submission to completion interrupt, queueing
+//! included) and the slowest individual requests are listed.
 //!
 //! With `--trace <path>` the CAGC pass records every span (host ops, GC
 //! phases, per-die busy intervals) and writes a Chrome trace-event JSON
@@ -35,6 +42,10 @@ fn main() {
         .position(|a| a == "--trace-sample")
         .map(|i| args.get(i + 1).and_then(|s| s.parse().ok()).expect("--trace-sample needs a number"))
         .unwrap_or(1);
+    let qd: Option<u32> = args
+        .iter()
+        .position(|a| a == "--qd")
+        .map(|i| args.get(i + 1).and_then(|s| s.parse().ok()).expect("--qd needs a number"));
 
     let flash = UllConfig::tiny_for_tests();
     let footprint = (flash.logical_pages() as f64 * 0.95) as u64;
@@ -57,11 +68,40 @@ fn main() {
             ssd.enable_tracing(TraceConfig { sample: trace_sample, ..TraceConfig::default() });
         }
         let mut series = TimeSeries::new(ms(50));
-        for req in &trace.requests {
-            let done = ssd.process(req);
-            series.record(req.at_ns, done - req.at_ns);
-        }
-        let report = ssd.report(&trace.name);
+        let (report, host_line) = if let Some(depth) = qd {
+            // Closed-loop through the multi-queue host interface:
+            // per-request latency is host-observed (queueing included).
+            let mut host = HostInterface::new(ssd, HostConfig::nvme(1, depth));
+            let (hr, cmds) = host.replay_closed_loop_detailed(&trace);
+            for c in &cmds {
+                series.record(c.wanted_ns, c.latency_ns());
+            }
+            let mut slowest: Vec<(usize, &cagc::host::CmdLatency)> =
+                cmds.iter().enumerate().collect();
+            slowest.sort_by_key(|(_, c)| std::cmp::Reverse(c.latency_ns()));
+            let mut lines = format!(
+                "host qd={depth}: p95 {:>8.1}us  p99.9 {:>8.1}us  irqs {}  slowest requests:\n",
+                hr.all.p95_ns as f64 / 1000.0,
+                hr.all.p999_ns as f64 / 1000.0,
+                hr.irqs
+            );
+            for (i, c) in slowest.iter().take(3) {
+                lines.push_str(&format!(
+                    "    req #{i}: {:>8.1}us (submit {:.3}ms, reap {:.3}ms)\n",
+                    c.latency_ns() as f64 / 1000.0,
+                    c.wanted_ns as f64 / 1e6,
+                    c.reaped_ns as f64 / 1e6,
+                ));
+            }
+            ssd = host.into_ssd();
+            (hr.device.clone(), Some(lines))
+        } else {
+            for req in &trace.requests {
+                let done = ssd.process(req);
+                series.record(req.at_ns, done - req.at_ns);
+            }
+            (ssd.report(&trace.name), None)
+        };
         println!(
             "{:<9} |{}|",
             report.scheme,
@@ -75,6 +115,9 @@ fn main() {
             report.gc.invocations,
             report.gc.blocks_erased
         );
+        if let Some(lines) = host_line {
+            println!("{lines}");
+        }
         if let (Some(path), Scheme::Cagc) = (&trace_out, scheme) {
             std::fs::write(path, ssd.chrome_trace().render()).expect("write Chrome trace");
             println!(

@@ -39,4 +39,14 @@ cargo run --release --offline --example trim_sensitivity -- --smoke
 echo "== smoke: fault sweep + power-loss recovery =="
 cargo run --release --offline --example fault_sweep -- --smoke
 
+echo "== smoke: queue-depth sweep (QD=1 equivalence + byte-determinism) =="
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --scale quick --out "$TRACE_TMP/qd1" sweep-qd | grep "QD=1 equivalence OK"
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --scale quick --out "$TRACE_TMP/qd2" sweep-qd > /dev/null
+cmp "$TRACE_TMP/qd1/sweep_qd.csv" "$TRACE_TMP/qd2/sweep_qd.csv" \
+  || { echo "FAIL: same-seed sweep_qd.csv must be byte-identical"; exit 1; }
+cmp "$TRACE_TMP/qd1/gc_preempt_cdf.csv" "$TRACE_TMP/qd2/gc_preempt_cdf.csv" \
+  || { echo "FAIL: same-seed gc_preempt_cdf.csv must be byte-identical"; exit 1; }
+
 echo "verify: OK"

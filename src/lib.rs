@@ -18,7 +18,8 @@
 //! | [`flash`] | NAND device model: geometry, page/block state machine, Table I timing |
 //! | [`dedup`] | SHA-1/SHA-256, fingerprint index with refcounts, hash engine |
 //! | [`ftl`] | mapping table, reverse map, region allocator, victim policies |
-//! | [`core`] | the schemes: `Ssd`, content-aware GC, reports |
+//! | [`core`] | the schemes: `Ssd`, content-aware GC (preemptible slices), reports |
+//! | [`host`] | NVMe-style multi-queue host interface: SQ/CQ pairs, doorbells, interrupt coalescing, GC pump |
 //! | [`workloads`] | traces, FIU-like generators, parsers, file scenarios |
 //! | [`metrics`] | latency histograms, CDFs, summary stats, report tables |
 //! | [`trace`] | deterministic tracing: spans over simulated time, Chrome/JSONL export, gauge registry |
@@ -50,6 +51,7 @@ pub use cagc_core as core;
 pub use cagc_dedup as dedup;
 pub use cagc_flash as flash;
 pub use cagc_ftl as ftl;
+pub use cagc_host as host;
 pub use cagc_metrics as metrics;
 pub use cagc_sim as sim;
 pub use cagc_trace as trace;
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use cagc_dedup::{ContentId, Fingerprint, FingerprintIndex};
     pub use cagc_flash::{FaultConfig, FlashDevice, FlashError, Geometry, Timing, UllConfig};
     pub use cagc_ftl::{VictimKind, Region};
+    pub use cagc_host::{HostConfig, HostInterface, HostReport};
     pub use cagc_metrics::{Cdf, Histogram};
     pub use cagc_trace::{TraceConfig, Tracer};
     pub use cagc_workloads::{
