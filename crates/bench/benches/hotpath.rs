@@ -1,0 +1,52 @@
+//! Hot-path replay throughput: the CI-gated performance baseline
+//! (`BENCH_hotpath.json`, one sample committed under `results/`, compared
+//! against fresh runs by `scripts/verify.sh` via the `bench_check` binary).
+//!
+//! Two GC-heavy CAGC replays, both fully deterministic:
+//!
+//! * `gc_heavy_replay` — the tiny-device workload, **identical** to the
+//!   `gc_cycle_replay_tracing/disabled` case of `benches/trace.rs`, so its
+//!   median is directly comparable to `results/BENCH_trace.json`'s
+//!   pre-overhaul 8.3 ms figure;
+//! * `gc_heavy_replay_1gb` — the same Mail workload scaled to a 1 GB
+//!   device (8 ch × 4 dies, 4096 blocks, ≈8300 GC rounds), where the
+//!   overhaul's asymptotic wins (O(1) victim selection vs O(blocks),
+//!   O(1) reverse-map churn vs O(sharers)) dominate. Measured seed
+//!   baseline and methodology: docs/PERFORMANCE.md.
+
+use cagc_core::{Scheme, Ssd, SsdConfig};
+use cagc_harness::bench::Bench;
+use cagc_workloads::{FiuWorkload, Trace};
+
+fn gc_heavy_trace(flash: &cagc_flash::UllConfig, requests: usize) -> Trace {
+    FiuWorkload::Mail
+        .synth_config((flash.logical_pages() as f64 * 0.9) as u64, requests, 9)
+        .generate()
+}
+
+fn bench_hotpath(c: &mut Bench) {
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10);
+
+    let tiny = cagc_flash::UllConfig::tiny_for_tests();
+    let tiny_trace = gc_heavy_trace(&tiny, 6_000);
+    g.bench_function("gc_heavy_replay", |b| {
+        b.iter(|| {
+            let mut ssd = Ssd::new(SsdConfig::tiny(Scheme::Cagc));
+            ssd.replay(&tiny_trace)
+        })
+    });
+
+    let gb = cagc_flash::UllConfig::scaled_gb(1);
+    let gb_trace = gc_heavy_trace(&gb, 200_000);
+    g.bench_function("gc_heavy_replay_1gb", |b| {
+        b.iter(|| {
+            let mut ssd = Ssd::new(SsdConfig::paper(gb, Scheme::Cagc));
+            ssd.replay(&gb_trace)
+        })
+    });
+
+    g.finish();
+}
+
+cagc_harness::harness_bench_main!(bench_hotpath);

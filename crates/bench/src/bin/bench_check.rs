@@ -1,0 +1,226 @@
+//! Compare a fresh `BENCH_*.json` against a committed baseline and fail
+//! on regression — the performance gate `scripts/verify.sh` runs after the
+//! correctness gates (see docs/PERFORMANCE.md for the policy).
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [--tolerance-pct N]
+//!             [--speedup-ref FILE --speedup-ref-name NAME
+//!              --speedup-bench NAME --speedup-min X]
+//! ```
+//!
+//! Every benchmark present in the baseline must exist in the fresh run and
+//! its fresh median must not exceed the baseline median by more than the
+//! tolerance (default 20 %, overridable with `--tolerance-pct` or the
+//! `CAGC_BENCH_TOLERANCE_PCT` environment variable — raise it on noisy
+//! shared machines). Fresh benchmarks missing from the baseline are listed
+//! but never fail the check, so adding a benchmark does not require
+//! regenerating the baseline in the same change. Being *faster* than the
+//! baseline is always fine.
+//!
+//! The optional speedup clause asserts a *floor on improvement* rather
+//! than a ceiling on regression: the fresh median of `--speedup-bench`
+//! must be at least `--speedup-min` times faster than the median recorded
+//! for `--speedup-ref-name` inside `--speedup-ref` (a committed reference
+//! JSON, e.g. the pre-overhaul measurement). This is how the ≥5× hot-path
+//! overhaul result stays locked in like a correctness property.
+
+use cagc_harness::Json;
+use std::process::ExitCode;
+
+/// One benchmark row from a `BENCH_*.json` artifact.
+struct Row {
+    name: String,
+    median_ns: f64,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_check: {msg}");
+    std::process::exit(2);
+}
+
+fn load_rows(path: &str) -> Vec<Row> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let Json::Obj(fields) = doc else { die(&format!("{path}: not a JSON object")) };
+    let results = fields
+        .iter()
+        .find(|(k, _)| k == "results")
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| die(&format!("{path}: no `results` array")));
+    let Json::Arr(items) = results else { die(&format!("{path}: `results` is not an array")) };
+    items
+        .iter()
+        .map(|item| {
+            let Json::Obj(f) = item else { die(&format!("{path}: result row is not an object")) };
+            let get = |key: &str| f.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            let name = match get("name") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => die(&format!("{path}: result row without a string `name`")),
+            };
+            let median_ns = match get("median_ns") {
+                Some(Json::F64(v)) => *v,
+                Some(Json::U64(v)) => *v as f64,
+                Some(Json::I64(v)) => *v as f64,
+                _ => die(&format!("{path}: `{name}` has no numeric `median_ns`")),
+            };
+            Row { name, median_ns }
+        })
+        .collect()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    tolerance_pct: f64,
+    speedup_ref: Option<String>,
+    speedup_ref_name: Option<String>,
+    speedup_bench: Option<String>,
+    speedup_min: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        baseline: String::new(),
+        fresh: String::new(),
+        tolerance_pct: std::env::var("CAGC_BENCH_TOLERANCE_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20.0),
+        speedup_ref: None,
+        speedup_ref_name: None,
+        speedup_bench: None,
+        speedup_min: None,
+    };
+    let mut positional = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--tolerance-pct" => {
+                let v = flag_value("--tolerance-pct");
+                args.tolerance_pct =
+                    v.parse().unwrap_or_else(|_| die(&format!("bad --tolerance-pct {v}")));
+            }
+            "--speedup-ref" => args.speedup_ref = Some(flag_value("--speedup-ref")),
+            "--speedup-ref-name" => {
+                args.speedup_ref_name = Some(flag_value("--speedup-ref-name"));
+            }
+            "--speedup-bench" => args.speedup_bench = Some(flag_value("--speedup-bench")),
+            "--speedup-min" => {
+                let v = flag_value("--speedup-min");
+                args.speedup_min =
+                    Some(v.parse().unwrap_or_else(|_| die(&format!("bad --speedup-min {v}"))));
+            }
+            other if other.starts_with("--") => die(&format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [baseline, fresh] = positional.try_into().unwrap_or_else(|p: Vec<String>| {
+        die(&format!("expected <baseline.json> <fresh.json>, got {} positionals", p.len()))
+    });
+    args.baseline = baseline;
+    args.fresh = fresh;
+    let speedup_parts = [
+        args.speedup_ref.is_some(),
+        args.speedup_ref_name.is_some(),
+        args.speedup_bench.is_some(),
+        args.speedup_min.is_some(),
+    ];
+    if speedup_parts.iter().any(|&s| s) && !speedup_parts.iter().all(|&s| s) {
+        die("--speedup-ref, --speedup-ref-name, --speedup-bench and --speedup-min go together");
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let baseline = load_rows(&args.baseline);
+    let fresh = load_rows(&args.fresh);
+    let fresh_median = |name: &str| fresh.iter().find(|r| r.name == name).map(|r| r.median_ns);
+
+    let mut failures = 0usize;
+    println!(
+        "{:<42} {:>12} {:>12} {:>8}  within ±{}%?",
+        "benchmark", "baseline", "fresh", "delta", args.tolerance_pct
+    );
+    for b in &baseline {
+        let Some(f) = fresh_median(&b.name) else {
+            println!("{:<42} {:>12} {:>12} {:>8}  FAIL (missing from fresh run)",
+                b.name, fmt_ns(b.median_ns), "-", "-");
+            failures += 1;
+            continue;
+        };
+        let delta_pct = (f - b.median_ns) / b.median_ns * 100.0;
+        let ok = delta_pct <= args.tolerance_pct;
+        println!(
+            "{:<42} {:>12} {:>12} {:>+7.1}%  {}",
+            b.name,
+            fmt_ns(b.median_ns),
+            fmt_ns(f),
+            delta_pct,
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    for f in &fresh {
+        if !baseline.iter().any(|b| b.name == f.name) {
+            println!("{:<42} {:>12} {:>12}       new  (not in baseline; not checked)",
+                f.name, "-", fmt_ns(f.median_ns));
+        }
+    }
+
+    if let (Some(ref_file), Some(ref_name), Some(bench), Some(min)) =
+        (&args.speedup_ref, &args.speedup_ref_name, &args.speedup_bench, args.speedup_min)
+    {
+        let refs = load_rows(ref_file);
+        let ref_median = refs
+            .iter()
+            .find(|r| &r.name == ref_name)
+            .unwrap_or_else(|| die(&format!("{ref_file}: no benchmark named {ref_name}")))
+            .median_ns;
+        let f = fresh_median(bench)
+            .unwrap_or_else(|| die(&format!("{}: no benchmark named {bench}", args.fresh)));
+        let speedup = ref_median / f;
+        let ok = speedup >= min;
+        println!(
+            "speedup: {} ({}) vs {} ({}) = {:.2}x, floor {:.2}x  {}",
+            bench,
+            fmt_ns(f),
+            ref_name,
+            fmt_ns(ref_median),
+            speedup,
+            min,
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_check: {failures} failure(s). If this machine is noisy, re-run or raise \
+             CAGC_BENCH_TOLERANCE_PCT (see docs/PERFORMANCE.md)."
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: OK");
+    ExitCode::SUCCESS
+}

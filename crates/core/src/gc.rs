@@ -257,33 +257,50 @@ impl Ssd {
                 let Some(victim) = self.select_victim(now) else { return Ok(now) };
                 self.gc_stats.invocations += 1;
                 let geom = *self.dev.geometry();
-                let pages: Vec<Ppn> = self
-                    .dev
-                    .block(victim)
-                    .valid_pages()
-                    .map(|p| geom.ppn(victim, p))
-                    .collect();
+                let blk = self.dev.block(victim);
+                let mut pages: Vec<Ppn> = Vec::with_capacity(blk.valid_count() as usize);
+                blk.for_each_valid(|p| pages.push(geom.ppn(victim, p)));
                 GcJob { victim, pages, next: 0 }
             }
         };
         let budget = self.cfg.gc_slice_pages as usize;
         let mut done = now;
-        let mut read_ready = now;
         let mut moved = 0u64;
-        while moved < budget as u64 && job.next < job.pages.len() {
-            let ppn = job.pages[job.next];
-            job.next += 1;
-            // The snapshot may be stale: a foreground overwrite or a dedup
-            // absorption between slices can have drained this page already.
-            if self.dev.page_state(ppn) != PageState::Valid {
-                continue;
-            }
-            moved += 1;
-            match self.cfg.scheme {
-                Scheme::Baseline | Scheme::InlineDedup | Scheme::InlineSampled => {
-                    done = done.max(self.migrate_page_blind(ppn, now)?);
+        match self.cfg.scheme {
+            Scheme::Baseline | Scheme::InlineDedup | Scheme::InlineSampled => {
+                // Pre-filter this quantum's still-valid pages (the snapshot
+                // may be stale: a foreground overwrite between slices can
+                // have drained a page already), then migrate them as one
+                // grouped batch. Blind migration never invalidates other
+                // snapshot pages, so the pre-filter cannot go stale
+                // mid-batch.
+                let mut quantum = std::mem::take(&mut self.valids_scratch);
+                quantum.clear();
+                while quantum.len() < budget && job.next < job.pages.len() {
+                    let ppn = job.pages[job.next];
+                    job.next += 1;
+                    if self.dev.page_state(ppn) != PageState::Valid {
+                        continue;
+                    }
+                    quantum.push(ppn);
                 }
-                Scheme::Cagc => {
+                moved = quantum.len() as u64;
+                let res = self.migrate_blind(&quantum, now);
+                self.valids_scratch = quantum;
+                done = done.max(res?);
+            }
+            Scheme::Cagc => {
+                let mut read_ready = now;
+                while moved < budget as u64 && job.next < job.pages.len() {
+                    let ppn = job.pages[job.next];
+                    job.next += 1;
+                    // The snapshot may be stale: a foreground overwrite or a
+                    // dedup absorption between slices can have drained this
+                    // page already.
+                    if self.dev.page_state(ppn) != PageState::Valid {
+                        continue;
+                    }
+                    moved += 1;
                     let (end, next_ready) =
                         self.migrate_page_content_aware(job.victim, ppn, read_ready)?;
                     read_ready = next_ready;
@@ -321,16 +338,25 @@ impl Ssd {
     /// page and erase the victim. Returns `(migration_done, erase_end)`.
     fn finish_job(&mut self, job: GcJob, t: Nanos) -> Result<(Nanos, Nanos), FlashError> {
         let mut done = t;
-        let mut read_ready = t;
-        for &ppn in &job.pages[job.next..] {
-            if self.dev.page_state(ppn) != PageState::Valid {
-                continue;
-            }
-            match self.cfg.scheme {
-                Scheme::Baseline | Scheme::InlineDedup | Scheme::InlineSampled => {
-                    done = done.max(self.migrate_page_blind(ppn, t)?);
+        match self.cfg.scheme {
+            Scheme::Baseline | Scheme::InlineDedup | Scheme::InlineSampled => {
+                let mut rest = std::mem::take(&mut self.valids_scratch);
+                rest.clear();
+                for &ppn in &job.pages[job.next..] {
+                    if self.dev.page_state(ppn) == PageState::Valid {
+                        rest.push(ppn);
+                    }
                 }
-                Scheme::Cagc => {
+                let res = self.migrate_blind(&rest, t);
+                self.valids_scratch = rest;
+                done = done.max(res?);
+            }
+            Scheme::Cagc => {
+                let mut read_ready = t;
+                for &ppn in &job.pages[job.next..] {
+                    if self.dev.page_state(ppn) != PageState::Valid {
+                        continue;
+                    }
                     let (end, next_ready) =
                         self.migrate_page_content_aware(job.victim, ppn, read_ready)?;
                     read_ready = next_ready;
@@ -417,6 +443,45 @@ impl Ssd {
     /// overwrite happens to land there, which under sustained fault
     /// injection starves foreground allocation outright.
     fn select_victim(&mut self, now: Nanos) -> Option<BlockId> {
+        if !self.tracer.is_enabled() {
+            // Hottest path: Greedy over a fault-free device is answered
+            // from the device's dense valid-count index — no per-block
+            // walk at all. Fault-free, every closed block is full, so the
+            // index's candidate set (and tie-break) is bit-identical to
+            // the scan below; with faults armed, stranded non-full blocks
+            // exist and the scan stays authoritative.
+            if self.selector.kind() == cagc_ftl::VictimKind::Greedy && !self.dev.faults_active() {
+                return self.dev.greedy_full_victim();
+            }
+            // Hot path: stream candidates straight into the policy. The
+            // deterministic policies fold the stream in O(1) space; the
+            // sampling ones buffer into selector-owned scratch — either
+            // way no per-selection Vec is allocated.
+            let dev = &self.dev;
+            let alloc = &self.alloc;
+            let candidates = (0..dev.block_count()).filter_map(|b| {
+                if alloc.is_open(b) || dev.is_retired(b) {
+                    return None;
+                }
+                let blk = dev.block(b);
+                if blk.is_free() || blk.invalid_count() + blk.free_count() == 0 {
+                    return None;
+                }
+                Some(VictimCandidate {
+                    block: b,
+                    valid: blk.valid_count(),
+                    invalid: blk.invalid_count(),
+                    trimmed: blk.trimmed_count(),
+                    stranded: blk.free_count(),
+                    pages: blk.pages(),
+                    erase_count: blk.erase_count(),
+                    last_modified: blk.last_modified(),
+                })
+            });
+            return self.selector.select_streaming(candidates, now);
+        }
+        // Traced path: materialize the snapshot — the stranded-pages gauge
+        // and the victim_select instant both want the whole candidate set.
         let mut candidates = Vec::new();
         for b in 0..self.dev.block_count() {
             if self.alloc.is_open(b) || self.dev.is_retired(b) {
@@ -469,19 +534,21 @@ impl Ssd {
     /// start migrating immediately while it runs.
     fn collect_victim(&mut self, victim: BlockId, t: Nanos) -> Result<(Nanos, Nanos), FlashError> {
         let geom = *self.dev.geometry();
-        let valids: Vec<Ppn> = self
-            .dev
-            .block(victim)
-            .valid_pages()
-            .map(|p| geom.ppn(victim, p))
-            .collect();
+        // The valid-page snapshot lives in a reusable scratch buffer —
+        // collection runs thousands of times per replay and the snapshot
+        // is dead as soon as the migration pass returns.
+        let mut valids = std::mem::take(&mut self.valids_scratch);
+        valids.clear();
+        self.dev.block(victim).for_each_valid(|p| valids.push(geom.ppn(victim, p)));
 
         let done = match self.cfg.scheme {
             Scheme::Baseline | Scheme::InlineDedup | Scheme::InlineSampled => {
-                self.migrate_blind(&valids, t)?
+                self.migrate_blind(&valids, t)
             }
-            Scheme::Cagc => self.migrate_content_aware(victim, &valids, t)?,
+            Scheme::Cagc => self.migrate_content_aware(victim, &valids, t),
         };
+        self.valids_scratch = valids;
+        let done = done?;
         let erase_end = self.erase_victim(victim, done)?;
         Ok((done, erase_end))
     }
@@ -534,26 +601,65 @@ impl Ssd {
         Ok(erase_end)
     }
 
-    /// Blind migration: read + rewrite every valid page (Fig. 3).
+    /// Blind migration: read + rewrite every valid page (Fig. 3), in two
+    /// grouped passes. Pass 1 issues every read + program back-to-back
+    /// (this fixes the flash timing — identical to the old per-page loop,
+    /// since reads all started at `t` and programs all queued in the same
+    /// order); pass 2 then updates mapping, reverse-map, index and
+    /// invalidation state for the whole batch. Grouping the metadata pass
+    /// keeps it in cache and lets each relocation take the O(1)
+    /// [`cagc_ftl::ReverseMap::relocate`] path. Blind migration never
+    /// touches other snapshot pages (no dedup absorption), so deferring
+    /// the metadata updates cannot change what later pages observe; each
+    /// source is invalidated at its *own* program-completion time, exactly
+    /// as before.
     fn migrate_blind(&mut self, valids: &[Ppn], t: Nanos) -> Result<Nanos, FlashError> {
         let mut done = t;
+        let mut batch = std::mem::take(&mut self.gc_batch);
+        batch.clear();
         for &ppn in valids {
-            done = done.max(self.migrate_page_blind(ppn, t)?);
+            self.gc_stats.pages_scanned += 1;
+            let read_end = match self.read_flash(ppn, t) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.gc_batch = batch;
+                    return Err(e);
+                }
+            };
+            // Inline schemes track migrated pages in the index; carry the
+            // fingerprint stamp so the relocated copy stays recoverable.
+            let stamp = self.index.fp_of_ppn(ppn).map(|fp| fp_stamp(&fp));
+            match self.program_region(Region::Hot, true, PageOob::gc(stamp), read_end) {
+                Ok((end, new_ppn)) => {
+                    // The program physically copied the cells: record the
+                    // content before any later fallible step can tear the
+                    // relocation (recovery rebuilds the rest from OOB +
+                    // journal whether or not pass 2 ran).
+                    self.content_of[new_ppn as usize] = self.content_of[ppn as usize];
+                    batch.push((ppn, new_ppn, end));
+                    done = done.max(end);
+                }
+                Err(e) => {
+                    self.gc_batch = batch;
+                    return Err(e);
+                }
+            }
         }
+        for i in 0..batch.len() {
+            let (old, new, end) = batch[i];
+            if let Err(e) = self.remap_sharers(old, new) {
+                self.gc_batch = batch;
+                return Err(e);
+            }
+            if self.index.fp_of_ppn(old).is_some() {
+                self.index.relocate(old, new);
+            }
+            self.dev.invalidate(old, end);
+            self.gc_stats.pages_migrated += 1;
+        }
+        batch.clear();
+        self.gc_batch = batch;
         Ok(done)
-    }
-
-    /// Blind migration of one page whose read may start at `t`. Returns
-    /// the program completion time.
-    fn migrate_page_blind(&mut self, ppn: Ppn, t: Nanos) -> Result<Nanos, FlashError> {
-        self.gc_stats.pages_scanned += 1;
-        let read_end = self.read_flash(ppn, t)?;
-        // Inline schemes track migrated pages in the index; carry the
-        // fingerprint stamp so the relocated copy stays recoverable.
-        let stamp = self.index.fp_of_ppn(ppn).map(|fp| fp_stamp(&fp));
-        let (end, _) = self.relocate_page(ppn, Region::Hot, stamp, read_end)?;
-        self.gc_stats.pages_migrated += 1;
-        Ok(end)
     }
 
     /// Content-aware migration (Fig. 5): hash each valid page on the hash
@@ -602,7 +708,9 @@ impl Ssd {
         let next_ready = if self.cfg.overlap_hash { read_ready } else { h.end };
         let decided = h.end + self.cfg.lookup_ns;
         let content = self.content_at(ppn);
-        let fp = Fingerprint::of_content(content);
+        // Memoized: the simulated hash cost was charged above; the memo
+        // only avoids recomputing the same SHA-1 on the wall clock.
+        let fp = self.fingerprint_of(content);
 
         let end = match self.index.lookup(&fp) {
             Some(entry) if entry.ppn != ppn => {
@@ -667,7 +775,8 @@ impl Ssd {
         fp: &Fingerprint,
         now: Nanos,
     ) -> Result<Nanos, FlashError> {
-        let sharers = self.rmap.take(from);
+        let mut sharers = std::mem::take(&mut self.sharers_scratch);
+        self.rmap.take_into(from, &mut sharers);
         debug_assert!(!sharers.is_empty(), "absorbing a page with no sharers");
         let n = sharers.len() as u32;
         for &l in &sharers {
@@ -677,8 +786,12 @@ impl Ssd {
             // eventually erased) — this is the dedup-during-GC crash
             // window recovery has to close: a crash between here and the
             // victim erase must find every sharer already remapped.
-            self.journal(JournalOp::Remap { lpn: l, ppn: to })?;
+            if let Err(e) = self.journal(JournalOp::Remap { lpn: l, ppn: to }) {
+                self.sharers_scratch = sharers;
+                return Err(e);
+            }
         }
+        self.sharers_scratch = sharers;
         let new_refs = self.index.add_refs(fp, n);
         self.dev.invalidate(from, now);
 
@@ -721,17 +834,46 @@ impl Ssd {
         // The program physically copied the cells: record the content
         // before any later fallible step can tear this relocation.
         self.content_of[new_ppn as usize] = self.content_of[ppn as usize];
-        let sharers = self.rmap.take(ppn);
-        debug_assert!(!sharers.is_empty(), "relocating an unreferenced page");
-        for &l in &sharers {
-            self.map.set(l, new_ppn);
-            self.rmap.add(new_ppn, l);
-            self.journal(JournalOp::Remap { lpn: l, ppn: new_ppn })?;
-        }
+        self.remap_sharers(ppn, new_ppn)?;
         if self.index.fp_of_ppn(ppn).is_some() {
             self.index.relocate(ppn, new_ppn);
         }
         self.dev.invalidate(ppn, end);
         Ok((end, new_ppn))
+    }
+
+    /// Point every sharer of `old` at `new` (a freshly-programmed copy with
+    /// no sharers of its own), in forward map, reverse map and — when fault
+    /// injection is armed — the journal.
+    ///
+    /// The fault-free fast path moves the reverse-map slot wholesale
+    /// ([`cagc_ftl::ReverseMap::relocate`], O(1) and allocation-free) after
+    /// retargeting the forward entries in place; journaling is skipped
+    /// outright because [`Ssd::journal`] is a no-op without faults armed.
+    /// With faults armed the sharer set is buffered through scratch so each
+    /// remap can be journaled between the map updates, byte-identical to
+    /// the original per-sharer loop.
+    fn remap_sharers(&mut self, old: Ppn, new: Ppn) -> Result<(), FlashError> {
+        if self.dev.faults_active() {
+            let mut sharers = std::mem::take(&mut self.sharers_scratch);
+            self.rmap.take_into(old, &mut sharers);
+            debug_assert!(!sharers.is_empty(), "relocating an unreferenced page");
+            for &l in &sharers {
+                self.map.set(l, new);
+                self.rmap.add(new, l);
+                if let Err(e) = self.journal(JournalOp::Remap { lpn: l, ppn: new }) {
+                    self.sharers_scratch = sharers;
+                    return Err(e);
+                }
+            }
+            self.sharers_scratch = sharers;
+        } else {
+            debug_assert!(self.rmap.count(old) > 0, "relocating an unreferenced page");
+            for &l in self.rmap.lpns(old) {
+                self.map.set(l, new);
+            }
+            self.rmap.relocate(old, new);
+        }
+        Ok(())
     }
 }

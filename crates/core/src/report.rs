@@ -104,14 +104,15 @@ pub struct LatencySummary {
 impl LatencySummary {
     /// Summarize a histogram.
     pub fn of(h: &Histogram) -> Self {
+        let [p50, p90, p95, p99, p999] = h.quantiles([0.50, 0.90, 0.95, 0.99, 0.999]);
         Self {
             count: h.count(),
             mean_ns: h.mean(),
-            p50_ns: h.quantile(0.50),
-            p90_ns: h.quantile(0.90),
-            p95_ns: h.quantile(0.95),
-            p99_ns: h.quantile(0.99),
-            p999_ns: h.quantile(0.999),
+            p50_ns: p50,
+            p90_ns: p90,
+            p95_ns: p95,
+            p99_ns: p99,
+            p999_ns: p999,
             max_ns: h.max(),
         }
     }

@@ -19,7 +19,7 @@
 //! semantics, the invalidation/reference-count bookkeeping shared by both,
 //! and the trace replay loop.
 
-use cagc_dedup::{ContentId, Fingerprint, FingerprintIndex, HashEngine};
+use cagc_dedup::{ContentId, Fingerprint, FingerprintCache, FingerprintIndex, HashEngine};
 use cagc_flash::{BlockId, FlashDevice, FlashError, JournalOp, PageOob, Ppn};
 use cagc_ftl::{
     Allocator, GcStats, GcTrigger, Lpn, MappingTable, Region, ReverseMap, VictimSelector,
@@ -141,6 +141,14 @@ pub struct Ssd {
     /// Suspended preemptible GC job ([`crate::SsdConfig::gc_preempt`]);
     /// always `None` when preemption is off.
     pub(crate) gc_job: Option<crate::gc::GcJob>,
+    /// Scratch for sharer sets detached during migration (journaling paths
+    /// that need `&mut self` while walking the set).
+    pub(crate) sharers_scratch: Vec<Lpn>,
+    /// Scratch for a victim's valid-page snapshot.
+    pub(crate) valids_scratch: Vec<Ppn>,
+    /// Scratch for batched blind migration: `(old ppn, new ppn, program
+    /// end)` per migrated page, applied as one grouped metadata pass.
+    pub(crate) gc_batch: Vec<(Ppn, Ppn, Nanos)>,
     end_ns: Nanos,
 }
 
@@ -187,6 +195,9 @@ impl Ssd {
             tracer: Tracer::disabled(),
             tctx: TraceCtx::Off,
             gc_job: None,
+            sharers_scratch: Vec::new(),
+            valids_scratch: Vec::new(),
+            gc_batch: Vec::new(),
             end_ns: 0,
             dev,
             cfg,
@@ -639,7 +650,7 @@ impl Ssd {
             self.tracer.span(Track::Hash, "hash", h.start, h.end, &[("lpn", lpn)]);
         }
         let decided = h.end + self.cfg.lookup_ns;
-        let fp = Fingerprint::of_content(content);
+        let fp = self.fingerprint_of(content);
         match self.index.lookup(&fp) {
             Some(entry) => {
                 if self.map.get(lpn) == Some(entry.ppn) {
@@ -846,6 +857,14 @@ impl Ssd {
             self.journal(JournalOp::Unmap { lpn })?;
         }
         Ok(())
+    }
+
+    /// The SHA-1 fingerprint of `content`, memoized: bit-identical to
+    /// [`Fingerprint::of_content`] but each distinct content is hashed at
+    /// most once per thread (wall-clock only — the simulated hash-engine
+    /// charge is separate). See [`FingerprintCache::of_content_cached`].
+    pub(crate) fn fingerprint_of(&mut self, content: ContentId) -> Fingerprint {
+        FingerprintCache::of_content_cached(content)
     }
 
     /// The stored content of a physical page.

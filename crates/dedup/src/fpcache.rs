@@ -1,0 +1,134 @@
+//! Content-id → fingerprint memoization.
+//!
+//! Simulated workloads address page contents by [`ContentId`]; the dedup
+//! machinery operates on the SHA-1 [`Fingerprint`] derived from that id.
+//! The derivation is a pure function, and GC-heavy replays fingerprint the
+//! same contents over and over (a page is re-hashed on every migration,
+//! and popular contents recur across the trace), so the digest is worth
+//! memoizing: [`FingerprintCache::get_or_insert`] computes each distinct
+//! content's SHA-1 exactly once and serves every later request from an
+//! open-addressed table.
+//!
+//! This affects **wall-clock time only**. The *simulated* cost of hashing
+//! stays where it was — the timing model charges
+//! [`crate::HashEngine::hash_page`] per page regardless — and the returned
+//! fingerprints are bit-identical to calling
+//! [`Fingerprint::of_content`] directly, so replay results do not change.
+
+use crate::fingerprint::{ContentId, Fingerprint};
+
+/// Memo table from content id to its SHA-1 fingerprint (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintCache {
+    /// Open-addressed, linear-probe cells: `(content id, digest)`.
+    cells: Vec<Option<(u64, Fingerprint)>>,
+    len: usize,
+}
+
+/// SplitMix64 finalizer: content ids are often small and sequential, so
+/// they need mixing before they index a power-of-two table.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FingerprintCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`Fingerprint::of_content`] backed by a process-wide
+    /// (per-thread) cache. The memoized function is pure, so sharing the
+    /// table across simulator instances is safe and makes repeated runs in
+    /// one process (parameter sweeps, benches, test suites) skip the SHA-1
+    /// entirely for contents any earlier run already fingerprinted.
+    pub fn of_content_cached(id: ContentId) -> Fingerprint {
+        thread_local! {
+            static CACHE: std::cell::RefCell<FingerprintCache> =
+                std::cell::RefCell::new(FingerprintCache::new());
+        }
+        CACHE.with(|c| c.borrow_mut().get_or_insert(id))
+    }
+
+    /// Number of distinct contents memoized.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fingerprint of `id`, computing (and memoizing) the SHA-1 on
+    /// first sight. Exactly equal to `Fingerprint::of_content(id)`.
+    pub fn get_or_insert(&mut self, id: ContentId) -> Fingerprint {
+        if self.cells.is_empty() {
+            self.cells = vec![None; 64];
+        } else if (self.len + 1) * 4 > self.cells.len() * 3 {
+            self.grow();
+        }
+        let mask = self.cells.len() - 1;
+        let mut i = (mix(id.0) as usize) & mask;
+        loop {
+            match &self.cells[i] {
+                Some((key, fp)) if *key == id.0 => return *fp,
+                Some(_) => i = (i + 1) & mask,
+                None => {
+                    let fp = Fingerprint::of_content(id);
+                    self.cells[i] = Some((id.0, fp));
+                    self.len += 1;
+                    return fp;
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let mut bigger: Vec<Option<(u64, Fingerprint)>> = vec![None; self.cells.len() * 2];
+        let mask = bigger.len() - 1;
+        for cell in self.cells.drain(..).flatten() {
+            let mut i = (mix(cell.0) as usize) & mask;
+            while bigger[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            bigger[i] = Some(cell);
+        }
+        self.cells = bigger;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoized_fingerprints_match_direct_computation() {
+        let mut cache = FingerprintCache::new();
+        for i in 0..500u64 {
+            let id = ContentId(i.wrapping_mul(0x1234_5678_9ABC_DEF1));
+            assert_eq!(cache.get_or_insert(id), Fingerprint::of_content(id));
+        }
+        // Second pass hits the memo and still agrees.
+        for i in 0..500u64 {
+            let id = ContentId(i.wrapping_mul(0x1234_5678_9ABC_DEF1));
+            assert_eq!(cache.get_or_insert(id), Fingerprint::of_content(id));
+        }
+        assert_eq!(cache.len(), 500);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut cache = FingerprintCache::new();
+        let first = cache.get_or_insert(ContentId(7));
+        for i in 0..200u64 {
+            cache.get_or_insert(ContentId(i));
+        }
+        assert_eq!(cache.get_or_insert(ContentId(7)), first);
+        assert_eq!(cache.len(), 200, "0..200 includes the initial id 7");
+    }
+}

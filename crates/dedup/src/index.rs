@@ -14,8 +14,27 @@
 //! count, and the flash page becomes invalid **only when the count reaches
 //! zero**. The index also records, per entry, the maximum count the entry
 //! ever reached — that is the statistic behind Fig. 6.
-
-use std::collections::HashMap;
+//!
+//! # Representation
+//!
+//! The index sits on the GC hot path (every migrated page probes it, every
+//! host overwrite releases through it), so it is **open-addressed**, not a
+//! pair of `std::collections::HashMap`s:
+//!
+//! * entries live in a slab (`Vec<Option<Slot>>` plus a free list), so an
+//!   entry has one stable integer id for its whole life;
+//! * a Robin-Hood linear-probe table maps `fingerprint → slot id`. The
+//!   64-bit probe key is the fingerprint's first eight bytes — SHA-1 output
+//!   is already uniform, so no secondary hasher (and no per-process hash
+//!   seed) is needed. Deletion is backward-shift, keeping probe chains
+//!   gap-free;
+//! * the `ppn → slot` direction is a dense `Vec<u32>` indexed by PPN
+//!   (physical page numbers are bounded by device geometry), making
+//!   release/relocate/refs-of-ppn a single array load.
+//!
+//! Everything is deterministic: layout depends only on the sequence of
+//! operations, never on a process-random hash seed, so same-seed runs stay
+//! byte-identical (see `docs/PERFORMANCE.md`).
 
 use crate::fingerprint::Fingerprint;
 use crate::refstats::RefCountStats;
@@ -44,29 +63,130 @@ pub struct IndexStats {
     pub removals: u64,
 }
 
-/// Fingerprint index with reference counting.
-#[derive(Debug, Default, Clone)]
+/// Sentinel for "no slot" in both the probe table and the PPN map.
+const NONE_SLOT: u32 = u32::MAX;
+
+/// One probe-table cell: the entry's 64-bit probe key plus its slab slot.
+/// The full key is cached in the cell so probing (and rehashing) never
+/// touches the slab until the key matches.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    hash: u64,
+    slot: u32,
+}
+
+const VACANT: Cell = Cell { hash: 0, slot: NONE_SLOT };
+
+/// A live slab entry.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    fp: Fingerprint,
+    entry: FpEntry,
+}
+
+/// The 64-bit probe key: the fingerprint's leading eight bytes. SHA-1
+/// digests are uniformly distributed, so this is already a good hash.
+#[inline]
+fn fp_hash(fp: &Fingerprint) -> u64 {
+    u64::from_le_bytes(fp.0[..8].try_into().expect("fingerprint has 20 bytes"))
+}
+
+/// Robin-Hood insertion into `cells` (caller guarantees a vacancy exists).
+fn cell_insert(cells: &mut [Cell], mut hash: u64, mut slot: u32) {
+    let mask = cells.len() - 1;
+    let mut i = (hash as usize) & mask;
+    let mut dist = 0usize;
+    loop {
+        let c = cells[i];
+        if c.slot == NONE_SLOT {
+            cells[i] = Cell { hash, slot };
+            return;
+        }
+        let resident_dist = i.wrapping_sub(c.hash as usize) & mask;
+        if resident_dist < dist {
+            // The resident is closer to home than we are: take its cell and
+            // carry it forward (the Robin-Hood displacement rule).
+            cells[i] = Cell { hash, slot };
+            hash = c.hash;
+            slot = c.slot;
+            dist = resident_dist;
+        }
+        i = (i + 1) & mask;
+        dist += 1;
+    }
+}
+
+/// Remove the cell holding `slot` (whose key is `hash`), backward-shifting
+/// the rest of the probe chain so no tombstones accumulate.
+fn cell_remove(cells: &mut [Cell], hash: u64, slot: u32) {
+    let mask = cells.len() - 1;
+    let mut i = (hash as usize) & mask;
+    loop {
+        let c = cells[i];
+        assert!(c.slot != NONE_SLOT, "by_ppn/by_fp out of sync");
+        if c.slot == slot {
+            break;
+        }
+        i = (i + 1) & mask;
+    }
+    loop {
+        let next = (i + 1) & mask;
+        let c = cells[next];
+        if c.slot == NONE_SLOT || next.wrapping_sub(c.hash as usize) & mask == 0 {
+            cells[i] = VACANT;
+            return;
+        }
+        cells[i] = c;
+        i = next;
+    }
+}
+
+/// Fingerprint index with reference counting (open-addressed; see the
+/// module docs for the layout).
+#[derive(Debug, Clone)]
 pub struct FingerprintIndex {
-    by_fp: HashMap<Fingerprint, FpEntry>,
-    by_ppn: HashMap<u64, Fingerprint>,
+    /// Robin-Hood probe table: fingerprint key → slab slot.
+    cells: Vec<Cell>,
+    /// Entry slab; freed slots are `None` and recycled through `free`.
+    slots: Vec<Option<Slot>>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
+    /// Dense PPN → slab slot map (`NONE_SLOT` = untracked).
+    by_ppn: Vec<u32>,
+    /// Live entry count.
+    len: usize,
     stats: IndexStats,
     ref_stats: RefCountStats,
+}
+
+impl Default for FingerprintIndex {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FingerprintIndex {
     /// An empty index.
     pub fn new() -> Self {
-        Self::default()
+        FingerprintIndex {
+            cells: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_ppn: Vec::new(),
+            len: 0,
+            stats: IndexStats::default(),
+            ref_stats: RefCountStats::default(),
+        }
     }
 
     /// Number of unique stored pages tracked.
     pub fn len(&self) -> usize {
-        self.by_fp.len()
+        self.len
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.by_fp.is_empty()
+        self.len == 0
     }
 
     /// Traffic counters.
@@ -79,10 +199,105 @@ impl FingerprintIndex {
         &self.ref_stats
     }
 
+    /// Find the slab slot of `fp`, if tracked.
+    fn find_slot(&self, fp: &Fingerprint) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.cells.len() - 1;
+        let h = fp_hash(fp);
+        let mut i = (h as usize) & mask;
+        let mut dist = 0usize;
+        loop {
+            let c = self.cells[i];
+            if c.slot == NONE_SLOT {
+                return None;
+            }
+            if c.hash == h
+                && self.slots[c.slot as usize].as_ref().is_some_and(|s| s.fp == *fp)
+            {
+                return Some(c.slot);
+            }
+            if i.wrapping_sub(c.hash as usize) & mask < dist {
+                // Robin-Hood invariant: a resident closer to home than our
+                // probe distance means the key cannot be further along.
+                return None;
+            }
+            i = (i + 1) & mask;
+            dist += 1;
+        }
+    }
+
+    fn slot_ref(&self, slot: u32) -> &Slot {
+        self.slots[slot as usize].as_ref().expect("by_ppn/by_fp out of sync")
+    }
+
+    fn slot_mut(&mut self, slot: u32) -> &mut Slot {
+        self.slots[slot as usize].as_mut().expect("by_ppn/by_fp out of sync")
+    }
+
+    /// Slab slot tracked for `ppn` (`NONE_SLOT` if untracked).
+    #[inline]
+    fn ppn_slot(&self, ppn: u64) -> u32 {
+        self.by_ppn.get(ppn as usize).copied().unwrap_or(NONE_SLOT)
+    }
+
+    fn set_ppn_slot(&mut self, ppn: u64, slot: u32) {
+        let i = ppn as usize;
+        if i >= self.by_ppn.len() {
+            self.by_ppn.resize(i + 1, NONE_SLOT);
+        }
+        self.by_ppn[i] = slot;
+    }
+
+    /// Grow (or lazily create) the probe table so one more entry keeps the
+    /// load factor at or below 7/8.
+    fn reserve_one(&mut self) {
+        if self.cells.is_empty() {
+            self.cells = vec![VACANT; 16];
+            return;
+        }
+        if (self.len + 1) * 8 > self.cells.len() * 7 {
+            let mut bigger = vec![VACANT; self.cells.len() * 2];
+            for c in &self.cells {
+                if c.slot != NONE_SLOT {
+                    cell_insert(&mut bigger, c.hash, c.slot);
+                }
+            }
+            self.cells = bigger;
+        }
+    }
+
+    /// Place a checked-fresh entry into the slab, probe table, and PPN map.
+    fn place(&mut self, fp: Fingerprint, entry: FpEntry) {
+        self.reserve_one();
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(Slot { fp, entry });
+                s
+            }
+            None => {
+                self.slots.push(Some(Slot { fp, entry }));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        cell_insert(&mut self.cells, fp_hash(&fp), slot);
+        self.set_ppn_slot(entry.ppn, slot);
+        self.len += 1;
+    }
+
+    /// Drop `slot` (key `fp`) from the probe table and slab.
+    fn unplace(&mut self, slot: u32, fp: &Fingerprint) {
+        cell_remove(&mut self.cells, fp_hash(fp), slot);
+        self.slots[slot as usize] = None;
+        self.free.push(slot);
+        self.len -= 1;
+    }
+
     /// Look up a fingerprint, counting the probe.
     pub fn lookup(&mut self, fp: &Fingerprint) -> Option<FpEntry> {
         self.stats.lookups += 1;
-        let hit = self.by_fp.get(fp).copied();
+        let hit = self.find_slot(fp).map(|s| self.slot_ref(s).entry);
         if hit.is_some() {
             self.stats.hits += 1;
         }
@@ -91,7 +306,7 @@ impl FingerprintIndex {
 
     /// Non-counting read (for assertions/reports).
     pub fn peek(&self, fp: &Fingerprint) -> Option<FpEntry> {
-        self.by_fp.get(fp).copied()
+        self.find_slot(fp).map(|s| self.slot_ref(s).entry)
     }
 
     /// Insert a brand-new unique page stored at `ppn` with `refs` initial
@@ -104,10 +319,9 @@ impl FingerprintIndex {
     /// silently fork the refcount.
     pub fn insert(&mut self, fp: Fingerprint, ppn: u64, refs: u32) {
         assert!(refs >= 1, "insert with zero refs");
-        let prev = self.by_fp.insert(fp, FpEntry { ppn, refs, max_refs: refs });
-        assert!(prev.is_none(), "fingerprint already indexed: {fp:?}");
-        let prev = self.by_ppn.insert(ppn, fp);
-        assert!(prev.is_none(), "ppn {ppn} already indexed");
+        assert!(self.find_slot(&fp).is_none(), "fingerprint already indexed: {fp:?}");
+        assert!(self.ppn_slot(ppn) == NONE_SLOT, "ppn {ppn} already indexed");
+        self.place(fp, FpEntry { ppn, refs, max_refs: refs });
         self.stats.inserts += 1;
     }
 
@@ -121,10 +335,9 @@ impl FingerprintIndex {
     /// Same double-insertion contract as [`FingerprintIndex::insert`].
     pub fn restore(&mut self, fp: Fingerprint, ppn: u64, refs: u32) {
         assert!(refs >= 1, "restore with zero refs");
-        let prev = self.by_fp.insert(fp, FpEntry { ppn, refs, max_refs: refs });
-        assert!(prev.is_none(), "fingerprint already indexed: {fp:?}");
-        let prev = self.by_ppn.insert(ppn, fp);
-        assert!(prev.is_none(), "ppn {ppn} already indexed");
+        assert!(self.find_slot(&fp).is_none(), "fingerprint already indexed: {fp:?}");
+        assert!(self.ppn_slot(ppn) == NONE_SLOT, "ppn {ppn} already indexed");
+        self.place(fp, FpEntry { ppn, refs, max_refs: refs });
     }
 
     /// Add `n` references to an existing entry; returns the new count.
@@ -132,7 +345,8 @@ impl FingerprintIndex {
     /// # Panics
     /// Panics if the fingerprint is unknown.
     pub fn add_refs(&mut self, fp: &Fingerprint, n: u32) -> u32 {
-        let e = self.by_fp.get_mut(fp).unwrap_or_else(|| panic!("add_refs: unknown {fp:?}"));
+        let slot = self.find_slot(fp).unwrap_or_else(|| panic!("add_refs: unknown {fp:?}"));
+        let e = &mut self.slot_mut(slot).entry;
         e.refs += n;
         e.max_refs = e.max_refs.max(e.refs);
         e.refs
@@ -146,19 +360,22 @@ impl FingerprintIndex {
     /// pages written by the foreground path are not fingerprinted until
     /// their first GC migration.
     pub fn release_ppn(&mut self, ppn: u64) -> Option<u32> {
-        let fp = *self.by_ppn.get(&ppn)?;
-        let e = self.by_fp.get_mut(&fp).expect("by_ppn/by_fp out of sync");
-        debug_assert_eq!(e.ppn, ppn);
-        e.refs -= 1;
-        if e.refs == 0 {
-            let max = e.max_refs;
-            self.by_fp.remove(&fp);
-            self.by_ppn.remove(&ppn);
+        let slot = self.ppn_slot(ppn);
+        if slot == NONE_SLOT {
+            return None;
+        }
+        let s = self.slot_mut(slot);
+        debug_assert_eq!(s.entry.ppn, ppn);
+        s.entry.refs -= 1;
+        if s.entry.refs == 0 {
+            let (fp, max) = (s.fp, s.entry.max_refs);
+            self.unplace(slot, &fp);
+            self.by_ppn[ppn as usize] = NONE_SLOT;
             self.stats.removals += 1;
             self.ref_stats.record_invalidation(max);
             Some(0)
         } else {
-            Some(e.refs)
+            Some(s.entry.refs)
         }
     }
 
@@ -176,35 +393,54 @@ impl FingerprintIndex {
 
     /// Current reference count of the page at `ppn` (`None` if untracked).
     pub fn refs_of_ppn(&self, ppn: u64) -> Option<u32> {
-        self.by_ppn.get(&ppn).map(|fp| self.by_fp[fp].refs)
+        let slot = self.ppn_slot(ppn);
+        if slot == NONE_SLOT {
+            return None;
+        }
+        Some(self.slot_ref(slot).entry.refs)
     }
 
     /// Fingerprint stored at `ppn`, if tracked.
     pub fn fp_of_ppn(&self, ppn: u64) -> Option<Fingerprint> {
-        self.by_ppn.get(&ppn).copied()
+        let slot = self.ppn_slot(ppn);
+        if slot == NONE_SLOT {
+            return None;
+        }
+        Some(self.slot_ref(slot).fp)
     }
 
-    /// GC moved the unique copy from `old_ppn` to `new_ppn`.
+    /// GC moved the unique copy from `old_ppn` to `new_ppn`. O(1): the
+    /// slab entry stays put, only the two PPN-map cells change.
     ///
     /// # Panics
     /// Panics if `old_ppn` is untracked or `new_ppn` already occupied.
     pub fn relocate(&mut self, old_ppn: u64, new_ppn: u64) {
-        let fp = self.by_ppn.remove(&old_ppn).unwrap_or_else(|| {
-            panic!("relocate: ppn {old_ppn} not indexed")
-        });
-        let prev = self.by_ppn.insert(new_ppn, fp);
-        assert!(prev.is_none(), "relocate: target ppn {new_ppn} occupied");
-        self.by_fp.get_mut(&fp).expect("by_ppn/by_fp out of sync").ppn = new_ppn;
+        let slot = self.ppn_slot(old_ppn);
+        if slot == NONE_SLOT {
+            panic!("relocate: ppn {old_ppn} not indexed");
+        }
+        assert!(
+            self.ppn_slot(new_ppn) == NONE_SLOT,
+            "relocate: target ppn {new_ppn} occupied"
+        );
+        self.by_ppn[old_ppn as usize] = NONE_SLOT;
+        self.set_ppn_slot(new_ppn, slot);
+        self.slot_mut(slot).entry.ppn = new_ppn;
     }
 
     /// Forget the entry at `ppn` without counting an invalidation (used when
     /// a tracked page's references are transferred wholesale, e.g. a dedup
     /// hit during migration absorbs this copy into another entry).
     pub fn forget_ppn(&mut self, ppn: u64) -> Option<FpEntry> {
-        let fp = self.by_ppn.remove(&ppn)?;
-        let e = self.by_fp.remove(&fp).expect("by_ppn/by_fp out of sync");
+        let slot = self.ppn_slot(ppn);
+        if slot == NONE_SLOT {
+            return None;
+        }
+        let s = *self.slot_ref(slot);
+        self.unplace(slot, &s.fp);
+        self.by_ppn[ppn as usize] = NONE_SLOT;
         self.stats.removals += 1;
-        Some(e)
+        Some(s.entry)
     }
 
     /// Record an invalidation of an *untracked* page (refcount implicitly 1)
@@ -213,24 +449,41 @@ impl FingerprintIndex {
         self.ref_stats.record_invalidation(1);
     }
 
-    /// Internal-consistency audit: every `by_ppn` entry points to a
-    /// `by_fp` entry that points back, and refs ≥ 1 ≤ max_refs. Used by
-    /// tests and debug assertions; O(n).
+    /// Internal-consistency audit: every PPN-map entry points to a live
+    /// slab slot that points back, refs ≥ 1 ≤ max_refs, and every live
+    /// entry is reachable through the probe table. Used by tests and debug
+    /// assertions; O(n).
     pub fn audit(&self) -> Result<(), String> {
-        if self.by_fp.len() != self.by_ppn.len() {
+        let tracked_ppns = self.by_ppn.iter().filter(|&&s| s != NONE_SLOT).count();
+        if self.len != tracked_ppns {
             return Err(format!(
                 "size mismatch: {} fingerprints vs {} ppns",
-                self.by_fp.len(),
-                self.by_ppn.len()
+                self.len, tracked_ppns
             ));
         }
-        for (ppn, fp) in &self.by_ppn {
-            let e = self.by_fp.get(fp).ok_or_else(|| format!("dangling ppn {ppn}"))?;
-            if e.ppn != *ppn {
-                return Err(format!("ppn {ppn} maps to entry at {}", e.ppn));
+        let live_slots = self.slots.iter().filter(|s| s.is_some()).count();
+        if self.len != live_slots {
+            return Err(format!(
+                "size mismatch: {} fingerprints vs {} live slots",
+                self.len, live_slots
+            ));
+        }
+        for (i, &slot) in self.by_ppn.iter().enumerate() {
+            if slot == NONE_SLOT {
+                continue;
             }
-            if e.refs == 0 || e.max_refs < e.refs {
-                return Err(format!("bad refcounts at ppn {ppn}: {e:?}"));
+            let ppn = i as u64;
+            let s = self.slots[slot as usize]
+                .as_ref()
+                .ok_or_else(|| format!("dangling ppn {ppn}"))?;
+            if s.entry.ppn != ppn {
+                return Err(format!("ppn {ppn} maps to entry at {}", s.entry.ppn));
+            }
+            if s.entry.refs == 0 || s.entry.max_refs < s.entry.refs {
+                return Err(format!("bad refcounts at ppn {ppn}: {:?}", s.entry));
+            }
+            if self.find_slot(&s.fp) != Some(slot) {
+                return Err(format!("probe table lost the fingerprint at ppn {ppn}"));
             }
         }
         Ok(())
@@ -239,14 +492,14 @@ impl FingerprintIndex {
     /// Sum of reference counts over all entries (= number of logical pages
     /// currently backed by deduplicated physical pages).
     pub fn total_refs(&self) -> u64 {
-        self.by_fp.values().map(|e| e.refs as u64).sum()
+        self.slots.iter().flatten().map(|s| s.entry.refs as u64).sum()
     }
 
     /// Histogram of current reference counts, bucketed {1, 2, 3, >3}.
     pub fn live_ref_histogram(&self) -> [u64; 4] {
         let mut h = [0u64; 4];
-        for e in self.by_fp.values() {
-            let b = match e.refs {
+        for s in self.slots.iter().flatten() {
+            let b = match s.entry.refs {
                 1 => 0,
                 2 => 1,
                 3 => 2,
@@ -396,6 +649,48 @@ mod tests {
         let mut ix = FingerprintIndex::new();
         for i in 0..100 {
             ix.insert(fp(i), i, (i % 5 + 1) as u32);
+        }
+        ix.audit().unwrap();
+    }
+
+    #[test]
+    fn survives_growth_and_slot_recycling() {
+        // Enough entries to force several probe-table doublings, with
+        // interleaved removals so freed slab slots get recycled.
+        let mut ix = FingerprintIndex::new();
+        for i in 0..500u64 {
+            ix.insert(fp(i), i, 1);
+            if i % 3 == 0 {
+                assert_eq!(ix.release_ppn(i), Some(0));
+            }
+        }
+        ix.audit().unwrap();
+        for i in 0..500u64 {
+            let expect = if i % 3 == 0 { None } else { Some(1) };
+            assert_eq!(ix.refs_of_ppn(i), expect, "ppn {i}");
+        }
+        // Removed fingerprints can be re-inserted at new ppns.
+        for i in (0..500u64).step_by(3) {
+            ix.insert(fp(i), 1000 + i, 2);
+        }
+        ix.audit().unwrap();
+        assert_eq!(ix.len(), 500);
+    }
+
+    #[test]
+    fn backward_shift_deletion_keeps_probes_reachable() {
+        // Insert a cluster, delete from the middle of it, and verify every
+        // survivor is still found (a tombstone-free table must backward-shift).
+        let mut ix = FingerprintIndex::new();
+        for i in 0..64u64 {
+            ix.insert(fp(i), i, 1);
+        }
+        for i in (0..64u64).step_by(2) {
+            ix.forget_ppn(i).unwrap();
+        }
+        for i in 0..64u64 {
+            let found = ix.peek(&fp(i)).is_some();
+            assert_eq!(found, i % 2 == 1, "fp({i})");
         }
         ix.audit().unwrap();
     }

@@ -14,6 +14,11 @@
 //!   a physical page becomes invalid only when its count reaches zero.
 //! * [`refstats`] — [`RefCountStats`], the Fig. 6 measurement (invalidations
 //!   bucketed by peak refcount).
+//! * [`fpcache`] — [`FingerprintCache`], a process-wide memo of
+//!   [`ContentId`] → [`Fingerprint`]: SHA-1 of a synthetic content id is a
+//!   pure function, so replays hash each distinct content once (a hot-path
+//!   optimisation — see `docs/PERFORMANCE.md`; simulated hash *timing* is
+//!   unaffected, that lives in [`engine`]).
 //! * [`engine`] — [`HashEngine`], the 14 µs/page hash-unit *timing* model
 //!   (Table I), and [`ParallelHasher`], a real multi-threaded page hasher
 //!   for benches and real-content runs.
@@ -45,9 +50,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod engine;
 pub mod fingerprint;
+pub mod fpcache;
 pub mod index;
 pub mod refstats;
 pub mod sha1;
@@ -55,6 +62,7 @@ pub mod sha256;
 
 pub use engine::{HashEngine, ParallelHasher};
 pub use fingerprint::{ContentId, Fingerprint};
+pub use fpcache::FingerprintCache;
 pub use index::{FingerprintIndex, FpEntry, IndexStats};
 pub use refstats::RefCountStats;
 pub use sha1::Sha1;

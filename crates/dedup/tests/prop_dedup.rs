@@ -48,15 +48,20 @@ harness_proptest! {
     }
 
     /// Index model check: drive the index with random insert / add_ref /
-    /// release operations and mirror it against a naive HashMap model. The
-    /// index must agree with the model after every operation, and its
-    /// internal audit must always pass.
+    /// release / trimmed-release / forget+restore / absorption operations
+    /// and mirror it against a naive HashMap model. The index must agree
+    /// with the model after every operation, and its internal audit must
+    /// always pass. Ops 3–5 cover the paths the open-addressed rewrite had
+    /// to keep drop-in compatible: trim-attributed releases, the
+    /// recovery-style forget-then-restore move, and the GC-absorption
+    /// forget that drops an entry without counting an invalidation.
     #[test]
-    fn index_agrees_with_naive_model(ops in vec((0u8..3, 0u64..20), 1..300)) {
+    fn index_agrees_with_naive_model(ops in vec((0u8..6, 0u64..20), 1..300)) {
         let mut ix = FingerprintIndex::new();
         // model: content -> (ppn, refs)
         let mut model: HashMap<u64, (u64, u32)> = HashMap::new();
         let mut next_ppn = 0u64;
+        let mut trim_releases = 0u64;
 
         for &(op, content) in &ops {
             let fp = Fingerprint::of_content(ContentId(content));
@@ -72,10 +77,17 @@ harness_proptest! {
                         model.get_mut(&content).expect("present").1 += 1;
                     }
                 }
-                1 => {
-                    // "overwrite/delete": release one ref if present
+                1 | 3 => {
+                    // "overwrite/delete" (1) or "host trim" (3): release
+                    // one ref if present; a trim additionally counts in
+                    // the trim-release statistic.
                     if let Some(&(ppn, refs)) = model.get(&content) {
-                        let rem = ix.release_ppn(ppn).expect("tracked");
+                        let rem = if op == 3 {
+                            trim_releases += 1;
+                            ix.release_ppn_trimmed(ppn).expect("tracked")
+                        } else {
+                            ix.release_ppn(ppn).expect("tracked")
+                        };
                         if refs == 1 {
                             prop_assert_eq!(rem, 0);
                             model.remove(&content);
@@ -87,7 +99,7 @@ harness_proptest! {
                         prop_assert_eq!(ix.lookup(&fp), None);
                     }
                 }
-                _ => {
+                2 => {
                     // "GC relocate" if present
                     if let Some(entry) = model.get_mut(&content) {
                         ix.relocate(entry.0, next_ppn);
@@ -95,13 +107,41 @@ harness_proptest! {
                         next_ppn += 1;
                     }
                 }
+                4 => {
+                    // Recovery-style move: forget the entry, then restore
+                    // it at a fresh ppn with the same refcount (what the
+                    // post-crash rebuild does from OOB stamps).
+                    if let Some(entry) = model.get_mut(&content) {
+                        let e = ix.forget_ppn(entry.0).expect("tracked");
+                        prop_assert_eq!(e.refs, entry.1);
+                        ix.restore(fp, next_ppn, e.refs);
+                        entry.0 = next_ppn;
+                        next_ppn += 1;
+                    } else {
+                        prop_assert_eq!(ix.peek(&fp), None);
+                    }
+                }
+                _ => {
+                    // GC absorption: the copy's references move wholesale
+                    // to another stored copy and this entry is forgotten
+                    // without an invalidation record. The content becomes
+                    // untracked; a later write re-inserts it fresh.
+                    if let Some(&(ppn, refs)) = model.get(&content) {
+                        let e = ix.forget_ppn(ppn).expect("tracked");
+                        prop_assert_eq!(e.refs, refs);
+                        model.remove(&content);
+                    }
+                }
             }
             // Full agreement after every step.
             prop_assert_eq!(ix.len(), model.len());
+            prop_assert_eq!(ix.ref_stats().trim_releases(), trim_releases);
             for (&c, &(ppn, refs)) in &model {
                 let e = ix.peek(&Fingerprint::of_content(ContentId(c))).expect("entry");
                 prop_assert_eq!(e.ppn, ppn);
                 prop_assert_eq!(e.refs, refs);
+                prop_assert_eq!(ix.refs_of_ppn(ppn), Some(refs));
+                prop_assert_eq!(ix.fp_of_ppn(ppn), Some(Fingerprint::of_content(ContentId(c))));
             }
             ix.audit().map_err(TestCaseError::fail)?;
         }

@@ -194,6 +194,15 @@ impl Block {
         self.valid.iter_ones().map(|i| i as u32)
     }
 
+    /// Visit offsets of currently valid pages, ascending — the word-level
+    /// bulk form of [`Block::valid_pages`]: GC snapshots a victim's valid
+    /// set on every collection, and the underlying bitmap scan skips a
+    /// whole 64-page word per branch instead of testing page by page.
+    #[inline]
+    pub fn for_each_valid(&self, mut f: impl FnMut(u32)) {
+        self.valid.for_each_one(|i| f(i as u32));
+    }
+
     /// Recovery-only: overwrite the validity of every *written* page from
     /// the durable truth `f(page)` (page is referenced by at least one
     /// recovered logical mapping). The write pointer and wear are physical

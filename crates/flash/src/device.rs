@@ -60,7 +60,20 @@ pub struct FlashDevice {
     retired_count: u32,
     /// Shared durable sequence counter for OOB stamps and journal records.
     seq: u64,
+    /// Greedy-victim acceleration: per-block valid-page count, live only
+    /// while the block is **full** (write pointer at the end — exactly the
+    /// closed, collectible state in fault-free operation) and not retired;
+    /// [`VICTIM_UNTRACKED`] otherwise. One dense `u16` per block keeps the
+    /// whole array in a handful of cache lines, so
+    /// [`FlashDevice::greedy_full_victim`] scans it instead of walking
+    /// every [`Block`] — and maintenance is a single store on the
+    /// fill/invalidate/erase transitions.
+    victim_valid: Vec<u16>,
 }
+
+/// Sentinel in [`FlashDevice::victim_valid`]: block not full (free, open
+/// frontier, or abandoned mid-write) or retired — never a dense-path victim.
+const VICTIM_UNTRACKED: u16 = u16::MAX;
 
 impl FlashDevice {
     /// A fresh device with no fault injection: all blocks erased, all dies
@@ -71,6 +84,10 @@ impl FlashDevice {
 
     /// A fresh device with the given fault-injection configuration.
     pub fn with_faults(geometry: Geometry, timing: Timing, faults: FaultConfig) -> Self {
+        assert!(
+            geometry.pages_per_block < VICTIM_UNTRACKED as u32,
+            "pages_per_block must fit below the victim-index sentinel"
+        );
         let blocks: Vec<Block> =
             (0..geometry.total_blocks()).map(|_| Block::new(geometry.pages_per_block)).collect();
         Self {
@@ -86,7 +103,56 @@ impl FlashDevice {
             retired: vec![false; geometry.total_blocks() as usize],
             retired_count: 0,
             seq: 0,
+            victim_valid: vec![VICTIM_UNTRACKED; geometry.total_blocks() as usize],
         }
+    }
+
+    /// Refresh block `b`'s entry in the dense victim index from its
+    /// authoritative state (see the `victim_valid` field docs).
+    #[inline]
+    fn sync_victim_valid(&mut self, b: BlockId) {
+        let blk = &self.blocks[b as usize];
+        self.victim_valid[b as usize] = if blk.is_full() && !self.retired[b as usize] {
+            blk.valid_count() as u16
+        } else {
+            VICTIM_UNTRACKED
+        };
+    }
+
+    /// The Greedy GC victim, answered from the dense per-block index: the
+    /// full, non-retired block with the fewest valid pages (= the largest
+    /// reclaim gain), ties broken exactly like the `Greedy` policy key —
+    /// most trimmed pages, then fewest erases, then lowest block id.
+    /// Returns `None` when no full block would reclaim anything.
+    ///
+    /// Only **full** blocks are visible here. In fault-free operation that
+    /// is precisely the closed-block candidate set, so the answer is
+    /// bit-identical to a full scan; after program failures or power-loss
+    /// recovery, closed-but-not-full blocks (stranded free pages) exist and
+    /// are invisible to this index — callers must gate on
+    /// [`FlashDevice::faults_active`] and fall back to scanning.
+    pub fn greedy_full_victim(&self) -> Option<BlockId> {
+        let pages = self.geometry.pages_per_block as u16;
+        // Single pass: track the running minimum valid count and the best
+        // tie-break key at that minimum. Fully-valid blocks (v == pages)
+        // reclaim nothing and are never candidates, which the sentinel
+        // `min_v = pages` with a strict first acceptance encodes.
+        let mut min_v = pages;
+        let mut best: Option<(u32, u32, BlockId)> = None;
+        for (b, &v) in self.victim_valid.iter().enumerate() {
+            if v > min_v || (v == min_v && best.is_none()) {
+                continue;
+            }
+            let blk = &self.blocks[b];
+            let key = (u32::MAX - blk.trimmed_count(), blk.erase_count(), b as BlockId);
+            if v < min_v {
+                min_v = v;
+                best = Some(key);
+            } else if best.is_none_or(|k| key < k) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, b)| b)
     }
 
     /// The device geometry.
@@ -300,9 +366,13 @@ impl FlashDevice {
             self.blocks[block as usize].invalidate(page, r.end);
             self.oob[ppn as usize] = PageOob { lpn: None, fp: None, seq };
             self.stats.program_failures += 1;
+            self.sync_victim_valid(block);
             return Err(FlashError::ProgramFailed { ppn, at: r.end });
         }
         self.oob[ppn as usize] = PageOob { seq, ..oob };
+        if self.blocks[block as usize].is_full() {
+            self.sync_victim_valid(block);
+        }
         Ok((r, ppn))
     }
 
@@ -310,6 +380,7 @@ impl FlashDevice {
     pub fn invalidate(&mut self, ppn: Ppn, now: Nanos) {
         let b = self.geometry.block_of(ppn);
         self.blocks[b as usize].invalidate(self.geometry.page_of(ppn), now);
+        self.sync_victim_valid(b);
     }
 
     /// Mark `ppn` invalid because the host trimmed its last logical
@@ -322,6 +393,7 @@ impl FlashDevice {
         let b = self.geometry.block_of(ppn);
         self.blocks[b as usize].deallocate(self.geometry.page_of(ppn), now);
         self.stats.trimmed_pages += 1;
+        self.sync_victim_valid(b);
     }
 
     /// Erase block `block`, ready no earlier than `ready_at`.
@@ -357,9 +429,11 @@ impl FlashDevice {
             self.stats.erase_failures += 1;
             self.stats.blocks_retired += 1;
             self.stats.erase_busy_ns += self.timing.erase_ns;
+            self.sync_victim_valid(block);
             return Err(FlashError::EraseFailed { block, at: r.end });
         }
         self.blocks[block as usize].erase(r.end);
+        self.sync_victim_valid(block);
         for ppn in self.geometry.pages_of_block(block) {
             self.oob[ppn as usize] = PageOob::default();
         }
@@ -372,11 +446,12 @@ impl FlashDevice {
     /// durable truth `f(ppn)` (the page is referenced by at least one
     /// recovered logical mapping). Wear, write pointers and cell contents
     /// are physical facts and stay; per-block trim attribution is volatile
-    /// and resets (see [`Block::recover_validity`]).
+    /// and resets (see `Block::recover_validity`).
     pub fn recover_validity(&mut self, mut f: impl FnMut(Ppn) -> bool) {
         for b in 0..self.blocks.len() {
             let base = self.geometry.ppn(b as BlockId, 0);
             self.blocks[b].recover_validity(|page| f(base + page as u64));
+            self.sync_victim_valid(b as BlockId);
         }
     }
 
@@ -725,6 +800,63 @@ mod tests {
         assert_eq!(d.oob(p0).lpn, Some(0));
         d.read(p0, 0).unwrap();
         d.program_next(0, 0, host(2)).unwrap();
+    }
+
+    /// Reference implementation of [`FlashDevice::greedy_full_victim`]:
+    /// the documented rule, computed by walking every block.
+    fn naive_greedy_full_victim(d: &FlashDevice) -> Option<BlockId> {
+        (0..d.block_count())
+            .filter(|&b| {
+                let blk = d.block(b);
+                blk.is_full() && !d.is_retired(b) && blk.valid_count() < blk.pages()
+            })
+            .min_by_key(|&b| {
+                let blk = d.block(b);
+                (blk.valid_count(), u32::MAX - blk.trimmed_count(), blk.erase_count(), b)
+            })
+    }
+
+    #[test]
+    fn greedy_victim_index_matches_full_scan_under_random_churn() {
+        use cagc_sim::SimRng;
+        let mut d = dev(); // 8 blocks × 8 pages
+        let mut rng = SimRng::seed_from_u64(0xB10C5);
+        let mut live: Vec<Ppn> = Vec::new();
+        assert_eq!(d.greedy_full_victim(), None, "fresh device has no victim");
+        for step in 0..4_000 {
+            match rng.gen_range_u64(0..10) {
+                // Program the next page of a random non-full block.
+                0..=4 => {
+                    let b = rng.gen_range_u64(0..8) as BlockId;
+                    if !d.block(b).is_full() {
+                        let (_, ppn) = d.program_next(b, 0, host(step)).unwrap();
+                        live.push(ppn);
+                    }
+                }
+                // Invalidate or trim a random live page.
+                5..=8 if !live.is_empty() => {
+                    let i = rng.gen_range_usize(0..live.len());
+                    let ppn = live.swap_remove(i);
+                    if rng.gen_range_u64(0..4) == 0 {
+                        d.deallocate(ppn, 0);
+                    } else {
+                        d.invalidate(ppn, 0);
+                    }
+                }
+                // Erase a random fully-drained block.
+                _ => {
+                    let b = rng.gen_range_u64(0..8) as BlockId;
+                    if d.block(b).valid_count() == 0 && !d.block(b).is_free() {
+                        d.erase(b, 0).unwrap();
+                    }
+                }
+            }
+            assert_eq!(
+                d.greedy_full_victim(),
+                naive_greedy_full_victim(&d),
+                "index diverged from full scan at step {step}"
+            );
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod allocator;
 pub mod gc;

@@ -4,15 +4,52 @@
 //! logical: every LPN that points at the migrated PPN has to be remapped.
 //! Without dedup each PPN has exactly one LPN; with dedup a popular page
 //! may be shared by many. The reverse map tracks that set per PPN.
+//!
+//! # Representation
+//!
+//! The map is on the GC hot path (every migrated page consults its sharer
+//! set; every host overwrite removes one pair), so it is a dense
+//! `Vec<RSlot>` indexed by PPN rather than a `HashMap<Ppn, Vec<Lpn>>`.
+//! The overwhelmingly common case — a page with exactly one sharer — is
+//! stored inline (`RSlot::One`) with no heap allocation at all; a `Vec`
+//! is only materialized once a second sharer appears (a dedup share), and
+//! is dropped again when the set shrinks back to one. Iteration order and
+//! the multiset semantics of the original `HashMap` version are preserved
+//! exactly; `iter` now walks PPNs in ascending order (callers treat the
+//! order as unspecified).
 
 use crate::mapping::Lpn;
 use cagc_flash::Ppn;
-use std::collections::HashMap;
+
+/// Per-PPN sharer set: empty, one inline LPN, or a spilled vector.
+#[derive(Debug, Clone, Default)]
+enum RSlot {
+    /// No LPN references this PPN.
+    #[default]
+    Empty,
+    /// Exactly one sharer, stored inline (the common, allocation-free case).
+    One(Lpn),
+    /// Two or more sharers (a deduplicated page).
+    Many(Vec<Lpn>),
+}
 
 /// Reverse mapping from physical page to the logical pages backed by it.
 #[derive(Debug, Clone, Default)]
 pub struct ReverseMap {
-    map: HashMap<Ppn, Vec<Lpn>>,
+    slots: Vec<RSlot>,
+    /// `pos[lpn]` = index of `lpn` inside its PPN's [`RSlot::Many`] vector,
+    /// making [`ReverseMap::remove`] O(1) instead of a linear scan (a hot
+    /// dedup page can have thousands of sharers, and every host overwrite
+    /// of one of them removes a pair). Maintained on every add/remove;
+    /// meaningless (stale) for LPNs not currently in a `Many` slot. With
+    /// duplicate LPN entries (multiset semantics) it points at *one*
+    /// occurrence, which is equally valid to remove since they are
+    /// indistinguishable.
+    pos: Vec<u32>,
+    /// Number of PPNs with at least one sharer.
+    occupied: usize,
+    /// Total LPN references across all PPNs.
+    total: u64,
 }
 
 impl ReverseMap {
@@ -23,17 +60,58 @@ impl ReverseMap {
 
     /// Number of PPNs with at least one LPN.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.occupied
     }
 
     /// Whether no PPN is referenced.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.occupied == 0
+    }
+
+    fn slot_mut(&mut self, ppn: Ppn) -> &mut RSlot {
+        let i = ppn as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, RSlot::default);
+        }
+        &mut self.slots[i]
+    }
+
+    /// Grow the positional index to cover `lpn` and record its position.
+    #[inline]
+    fn set_pos(pos: &mut Vec<u32>, lpn: Lpn, p: u32) {
+        let i = lpn as usize;
+        if i >= pos.len() {
+            pos.resize(i + 1, 0);
+        }
+        pos[i] = p;
     }
 
     /// Record that `lpn` now points at `ppn`.
+    #[inline]
     pub fn add(&mut self, ppn: Ppn, lpn: Lpn) {
-        self.map.entry(ppn).or_default().push(lpn);
+        let i = ppn as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, RSlot::default);
+        }
+        let slot = &mut self.slots[i];
+        match slot {
+            RSlot::Empty => {
+                *slot = RSlot::One(lpn);
+                self.occupied += 1;
+            }
+            RSlot::One(first) => {
+                let f = *first;
+                *slot = RSlot::Many(vec![f, lpn]);
+                Self::set_pos(&mut self.pos, f, 0);
+                Self::set_pos(&mut self.pos, lpn, 1);
+            }
+            RSlot::Many(v) => {
+                let p = v.len() as u32;
+                v.push(lpn);
+                Self::set_pos(&mut self.pos, lpn, p);
+            }
+        }
+        self.total += 1;
     }
 
     /// Record that `lpn` no longer points at `ppn`. Returns how many LPNs
@@ -42,61 +120,168 @@ impl ReverseMap {
     /// # Panics
     /// Panics if the pair was not present — the forward and reverse maps
     /// must never disagree.
+    #[inline]
     pub fn remove(&mut self, ppn: Ppn, lpn: Lpn) -> usize {
-        let v = self
-            .map
-            .get_mut(&ppn)
+        let slot = self
+            .slots
+            .get_mut(ppn as usize)
+            .filter(|s| !matches!(s, RSlot::Empty))
             .unwrap_or_else(|| panic!("reverse map: ppn {ppn} untracked"));
-        let i = v
-            .iter()
-            .position(|&l| l == lpn)
-            .unwrap_or_else(|| panic!("reverse map: lpn {lpn} not under ppn {ppn}"));
-        v.swap_remove(i);
-        let remaining = v.len();
-        if remaining == 0 {
-            self.map.remove(&ppn);
-        }
+        let remaining = match slot {
+            RSlot::Empty => unreachable!("filtered above"),
+            RSlot::One(l) => {
+                assert!(*l == lpn, "reverse map: lpn {lpn} not under ppn {ppn}");
+                *slot = RSlot::Empty;
+                self.occupied -= 1;
+                0
+            }
+            RSlot::Many(v) => {
+                // O(1) via the positional index; the hint is only trusted
+                // when it actually points at `lpn`, so a stale entry (from
+                // duplicate-LPN multiset use) degrades to the scan instead
+                // of corrupting the set.
+                let hint = self.pos.get(lpn as usize).copied().unwrap_or(0) as usize;
+                let i = if v.get(hint) == Some(&lpn) {
+                    hint
+                } else {
+                    v.iter()
+                        .position(|&l| l == lpn)
+                        .unwrap_or_else(|| panic!("reverse map: lpn {lpn} not under ppn {ppn}"))
+                };
+                v.swap_remove(i);
+                if let Some(&moved) = v.get(i) {
+                    self.pos[moved as usize] = i as u32;
+                }
+                if v.len() == 1 {
+                    // Shrink back to the inline representation, releasing
+                    // the spill vector.
+                    *slot = RSlot::One(v[0]);
+                    1
+                } else {
+                    v.len()
+                }
+            }
+        };
+        self.total -= 1;
         remaining
     }
 
     /// LPNs currently backed by `ppn` (empty slice if none).
     pub fn lpns(&self, ppn: Ppn) -> &[Lpn] {
-        self.map.get(&ppn).map(Vec::as_slice).unwrap_or(&[])
+        match self.slots.get(ppn as usize) {
+            Some(RSlot::One(l)) => std::slice::from_ref(l),
+            Some(RSlot::Many(v)) => v.as_slice(),
+            _ => &[],
+        }
     }
 
     /// Number of LPNs backed by `ppn`.
     pub fn count(&self, ppn: Ppn) -> usize {
-        self.map.get(&ppn).map_or(0, Vec::len)
+        match self.slots.get(ppn as usize) {
+            Some(RSlot::One(_)) => 1,
+            Some(RSlot::Many(v)) => v.len(),
+            _ => 0,
+        }
+    }
+
+    /// Detach and return `ppn`'s whole sharer slot, fixing up the counters.
+    fn take_slot(&mut self, ppn: Ppn) -> RSlot {
+        let Some(slot) = self.slots.get_mut(ppn as usize) else {
+            return RSlot::Empty;
+        };
+        let taken = std::mem::take(slot);
+        match &taken {
+            RSlot::Empty => {}
+            RSlot::One(_) => {
+                self.occupied -= 1;
+                self.total -= 1;
+            }
+            RSlot::Many(v) => {
+                self.occupied -= 1;
+                self.total -= v.len() as u64;
+            }
+        }
+        taken
     }
 
     /// Remove and return all LPNs of `ppn` (migration: the set will be
     /// re-added under the destination PPN).
     pub fn take(&mut self, ppn: Ppn) -> Vec<Lpn> {
-        self.map.remove(&ppn).unwrap_or_default()
+        match self.take_slot(ppn) {
+            RSlot::Empty => Vec::new(),
+            RSlot::One(l) => vec![l],
+            RSlot::Many(v) => v,
+        }
+    }
+
+    /// [`ReverseMap::take`] into a caller-owned scratch buffer: `out` is
+    /// cleared and filled with `ppn`'s former sharers. Lets the GC hot path
+    /// reuse one allocation across migrations.
+    pub fn take_into(&mut self, ppn: Ppn, out: &mut Vec<Lpn>) {
+        out.clear();
+        match self.take_slot(ppn) {
+            RSlot::Empty => {}
+            RSlot::One(l) => out.push(l),
+            RSlot::Many(v) => out.extend_from_slice(&v),
+        }
+    }
+
+    /// Move `from`'s entire sharer set under `to`, which must currently be
+    /// empty (GC relocation of a page to a fresh destination). O(1): the
+    /// slot moves wholesale, without visiting individual LPNs.
+    ///
+    /// # Panics
+    /// Panics if `from` is untracked or `to` already has sharers.
+    pub fn relocate(&mut self, from: Ppn, to: Ppn) {
+        assert!(
+            self.count(to) == 0,
+            "reverse map: relocate target ppn {to} occupied"
+        );
+        let slot = self
+            .slots
+            .get_mut(from as usize)
+            .filter(|s| !matches!(s, RSlot::Empty))
+            .unwrap_or_else(|| panic!("reverse map: ppn {from} untracked"));
+        let moved = std::mem::take(slot);
+        *self.slot_mut(to) = moved;
+        // occupied/total are unchanged: one slot emptied, one filled.
     }
 
     /// Move every LPN of `from` under `to` (dedup hit during migration:
     /// the migrated page's references are absorbed by the existing copy).
     /// Returns how many LPNs moved.
     pub fn merge_into(&mut self, from: Ppn, to: Ppn) -> usize {
-        let moved = self.take(from);
-        let n = moved.len();
-        if n > 0 {
-            self.map.entry(to).or_default().extend(moved);
+        let moved = self.take_slot(from);
+        match moved {
+            RSlot::Empty => 0,
+            RSlot::One(l) => {
+                self.add(to, l);
+                1
+            }
+            RSlot::Many(v) => {
+                let n = v.len();
+                for l in v {
+                    self.add(to, l);
+                }
+                n
+            }
         }
-        n
     }
 
     /// Total LPN references across all PPNs (= mapped LPN count; used by
     /// consistency audits).
     pub fn total_refs(&self) -> u64 {
-        self.map.values().map(|v| v.len() as u64).sum()
+        self.total
     }
 
     /// Iterate `(ppn, sharing LPNs)` over all referenced physical pages
     /// (order unspecified; audits and reports only).
     pub fn iter(&self) -> impl Iterator<Item = (Ppn, &[Lpn])> {
-        self.map.iter().map(|(&p, v)| (p, v.as_slice()))
+        self.slots.iter().enumerate().filter_map(|(p, s)| match s {
+            RSlot::Empty => None,
+            RSlot::One(l) => Some((p as Ppn, std::slice::from_ref(l))),
+            RSlot::Many(v) => Some((p as Ppn, v.as_slice())),
+        })
     }
 }
 
@@ -143,6 +328,24 @@ mod tests {
     }
 
     #[test]
+    fn take_into_reuses_the_scratch_buffer() {
+        let mut r = ReverseMap::new();
+        r.add(7, 1);
+        r.add(7, 2);
+        r.add(8, 3);
+        let mut scratch = Vec::new();
+        r.take_into(7, &mut scratch);
+        scratch.sort_unstable();
+        assert_eq!(scratch, vec![1, 2]);
+        assert_eq!(r.count(7), 0);
+        r.take_into(8, &mut scratch); // clears the previous contents
+        assert_eq!(scratch, vec![3]);
+        r.take_into(9, &mut scratch); // empty ppn leaves it empty
+        assert!(scratch.is_empty());
+        assert_eq!(r.total_refs(), 0);
+    }
+
+    #[test]
     fn merge_into_moves_all_references() {
         let mut r = ReverseMap::new();
         r.add(1, 10);
@@ -160,6 +363,66 @@ mod tests {
         r.add(2, 20);
         assert_eq!(r.merge_into(1, 2), 0);
         assert_eq!(r.count(2), 1);
+    }
+
+    #[test]
+    fn relocate_moves_the_slot_wholesale() {
+        let mut r = ReverseMap::new();
+        r.add(4, 40);
+        r.add(4, 41);
+        r.add(5, 50);
+        r.relocate(4, 9);
+        assert_eq!(r.count(4), 0);
+        let mut moved = r.lpns(9).to_vec();
+        moved.sort_unstable();
+        assert_eq!(moved, vec![40, 41]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_refs(), 3);
+        // Single-sharer slots move too.
+        r.relocate(5, 4);
+        assert_eq!(r.lpns(4), &[50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked")]
+    fn relocating_unknown_ppn_panics() {
+        ReverseMap::new().relocate(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn relocating_onto_occupied_target_panics() {
+        let mut r = ReverseMap::new();
+        r.add(1, 10);
+        r.add(2, 20);
+        r.relocate(1, 2);
+    }
+
+    #[test]
+    fn large_sharer_sets_remove_in_any_order() {
+        // Exercises the positional index across swap_remove reshuffles:
+        // remove from the middle, the ends, and interleave with re-adds.
+        let mut r = ReverseMap::new();
+        for l in 0..100 {
+            r.add(1, l);
+        }
+        for l in (0..100).step_by(3) {
+            assert!(r.remove(1, l) > 0);
+        }
+        for l in 0..100u64 {
+            if l % 3 == 0 {
+                r.add(1, l); // back in, at a fresh position
+            }
+        }
+        assert_eq!(r.count(1), 100);
+        let mut left: Vec<u64> = (0..100).collect();
+        // Drain in an order unrelated to insertion order.
+        while let Some(l) = left.pop() {
+            r.remove(1, l);
+        }
+        assert_eq!(r.count(1), 0);
+        assert_eq!(r.total_refs(), 0);
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -105,12 +105,17 @@ impl VictimKind {
 pub struct VictimSelector {
     kind: VictimKind,
     rng: SimRng,
+    /// Scratch buffer for the sampling policies in
+    /// [`VictimSelector::select_streaming`] (Random and D-Choices need the
+    /// whole candidate set materialized for index draws; the deterministic
+    /// policies fold the stream without it).
+    scratch: Vec<VictimCandidate>,
 }
 
 impl VictimSelector {
     /// A selector of the given kind; `seed` only matters for `Random`.
     pub fn new(kind: VictimKind, seed: u64) -> Self {
-        Self { kind, rng: SimRng::seed_from_u64(seed) }
+        Self { kind, rng: SimRng::seed_from_u64(seed), scratch: Vec::new() }
     }
 
     /// The algorithm this selector runs.
@@ -162,6 +167,47 @@ impl VictimSelector {
                         (u32::MAX - (c.invalid + c.stranded), u32::MAX - c.trimmed, c.erase_count, c.block)
                     })
                     .map(|c| c.block)
+            }
+        }
+    }
+
+    /// Choose a victim from a candidate *stream* without materializing it.
+    ///
+    /// Semantically identical to collecting the iterator into a slice and
+    /// calling [`VictimSelector::select`] — same winner, same RNG draws —
+    /// but the deterministic policies (Greedy, Cost-Benefit, FIFO) fold the
+    /// stream in O(1) space. The sampling policies (Random, D-Choices) need
+    /// indexed access for their draws, so they buffer the stream into a
+    /// selector-owned scratch vector (amortized allocation-free).
+    pub fn select_streaming(
+        &mut self,
+        candidates: impl Iterator<Item = VictimCandidate>,
+        now: Nanos,
+    ) -> Option<BlockId> {
+        match self.kind {
+            VictimKind::Greedy => candidates
+                .min_by_key(|c| {
+                    (u32::MAX - (c.invalid + c.stranded), u32::MAX - c.trimmed, c.erase_count, c.block)
+                })
+                .map(|c| c.block),
+            VictimKind::CostBenefit => candidates
+                .map(|c| (Self::cost_benefit_score(&c, now), c))
+                .min_by(|(sa, ca), (sb, cb)| {
+                    sb.partial_cmp(sa)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(ca.block.cmp(&cb.block))
+                })
+                .map(|(_, c)| c.block),
+            VictimKind::Fifo => {
+                candidates.min_by_key(|c| (c.last_modified, c.block)).map(|c| c.block)
+            }
+            VictimKind::Random | VictimKind::DChoices => {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                scratch.clear();
+                scratch.extend(candidates);
+                let pick = self.select(&scratch, now);
+                self.scratch = scratch;
+                pick
             }
         }
     }
@@ -334,6 +380,41 @@ mod tests {
         assert_eq!(picks1, picks2, "same seed, same picks");
         let distinct: std::collections::HashSet<_> = picks1.iter().collect();
         assert!(distinct.len() > 3, "random policy should spread picks");
+    }
+
+    #[test]
+    fn streaming_select_agrees_with_slice_select() {
+        // Mixed candidate set with ties, stranded pages and trim garbage;
+        // every policy must pick the same victim from the stream as from
+        // the slice, with identical RNG evolution for the sampling ones.
+        let cands: Vec<VictimCandidate> = (0..40)
+            .map(|b| {
+                let mut c = cand(b, 64 - (b % 13) * 4, (b % 13) * 4, b % 5, (b as Nanos) * 700);
+                c.trimmed = (b % 7).min(c.invalid);
+                c.stranded = b % 3;
+                c
+            })
+            .collect();
+        for kind in VictimKind::EXTENDED {
+            let mut by_slice = VictimSelector::new(kind, 99);
+            let mut by_stream = VictimSelector::new(kind, 99);
+            for round in 0..30 {
+                let now = 1_000_000 + round * 50_000;
+                assert_eq!(
+                    by_stream.select_streaming(cands.iter().copied(), now),
+                    by_slice.select(&cands, now),
+                    "{kind:?} diverged at round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_select_empty_gives_none() {
+        for kind in VictimKind::EXTENDED {
+            let mut s = VictimSelector::new(kind, 1);
+            assert_eq!(s.select_streaming(std::iter::empty(), 0), None);
+        }
     }
 
     #[test]

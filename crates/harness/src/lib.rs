@@ -10,7 +10,7 @@
 //! |--------|----------|------------|
 //! | [`pool`] | `crossbeam` scoped threads, `parking_lot` | scoped worker pool with deterministic partitioning and ordered results |
 //! | [`prop`] | `proptest` | seeded property-test runner: strategies, bounded shrinking, `harness_proptest!` |
-//! | [`bench`] | `criterion` | micro-benchmark runner: warmup, median/p95/min report, `BENCH_*.json` |
+//! | [`bench`](mod@bench) | `criterion` | micro-benchmark runner: warmup, median/p95/min report, `BENCH_*.json` |
 //! | [`json`] | `serde` derive | explicit [`json::Json`] tree + [`json::ToJson`] trait, deterministic rendering |
 //!
 //! Randomness comes from [`cagc_sim::SimRng`] — the same deterministic
@@ -23,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bench;
 pub mod json;

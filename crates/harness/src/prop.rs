@@ -250,7 +250,7 @@ impl Strategy for Any<f64> {
 // ---------------------------------------------------------------------
 
 /// Strategy for `Vec<S::Value>` with length drawn from a range
-/// (see [`vec`]).
+/// (see [`vec()`]).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

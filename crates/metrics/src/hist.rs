@@ -6,9 +6,6 @@
 //! the full `u64` range in constant memory. Used for response-time
 //! distributions (Fig. 11 means, Fig. 12 CDFs, tail percentiles).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 const SUB_BITS: u32 = 6;
 const SUB_COUNT: usize = 1 << SUB_BITS;
 /// Number of top-level (exponent) tiers.
@@ -16,7 +13,7 @@ const TIERS: usize = 64 - SUB_BITS as usize;
 /// Exact values retained for the upper tail: quantiles whose rank falls
 /// within the largest `TAIL_KEEP` recorded values (p99.9 of a ≤1M-sample
 /// run, every quantile of a ≤1024-sample run) are exact order statistics,
-/// not bucket approximations. Bounded memory, O(log TAIL_KEEP) per record.
+/// not bucket approximations. Bounded memory, amortized O(1) per record.
 const TAIL_KEEP: usize = 1024;
 
 /// A fixed-memory log-bucket histogram over `u64` values (nanoseconds).
@@ -27,8 +24,16 @@ pub struct Histogram {
     sum: u128,
     min: u64,
     max: u64,
-    /// Min-heap holding the largest `TAIL_KEEP` values seen (exact tail).
-    tail: BinaryHeap<Reverse<u64>>,
+    /// Unsorted buffer whose top-`TAIL_KEEP` multiset is exactly the
+    /// largest `TAIL_KEEP` values ever recorded. Kept below `2 * TAIL_KEEP`
+    /// entries by [`Self::tail_compact`]; record-path cost is a bounds
+    /// check plus an amortized-O(1) push, which is why this is a flat `Vec`
+    /// and not a heap (ordering is only needed at report time).
+    tail: Vec<u64>,
+    /// Values strictly below this floor cannot rank in the top `TAIL_KEEP`
+    /// and are dropped on arrival. 0 (filter disabled) until the first
+    /// compaction establishes a true K-th-largest.
+    tail_floor: u64,
 }
 
 impl Default for Histogram {
@@ -46,21 +51,39 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
-            tail: BinaryHeap::with_capacity(TAIL_KEEP),
+            tail: Vec::new(),
+            tail_floor: 0,
         }
     }
 
-    /// Offer `v` to the exact-tail heap, evicting the smallest retained
-    /// value when full. The retained *multiset* is the top `TAIL_KEEP`
-    /// values regardless of insertion order.
+    /// Offer `v` to the exact-tail buffer. Values below the established
+    /// floor are dropped (they cannot rank in the top `TAIL_KEEP`); the
+    /// retained *multiset* of the buffer's largest `TAIL_KEEP` entries is
+    /// the top `TAIL_KEEP` values ever recorded, regardless of order.
     #[inline]
     fn tail_push(&mut self, v: u64) {
-        if self.tail.len() < TAIL_KEEP {
-            self.tail.push(Reverse(v));
-        } else if self.tail.peek().is_some_and(|&Reverse(floor)| v > floor) {
-            self.tail.pop();
-            self.tail.push(Reverse(v));
+        if v < self.tail_floor {
+            return;
         }
+        self.tail.push(v);
+        if self.tail.len() >= 2 * TAIL_KEEP {
+            self.tail_compact();
+        }
+    }
+
+    /// Shrink the buffer to exactly the top-`TAIL_KEEP` multiset and raise
+    /// the floor to the K-th largest. O(len) via quickselect, so the
+    /// amortized cost per retained push is O(1).
+    fn tail_compact(&mut self) {
+        self.tail.select_nth_unstable_by(TAIL_KEEP - 1, |a, b| b.cmp(a));
+        self.tail.truncate(TAIL_KEEP);
+        self.tail_floor = self.tail[TAIL_KEEP - 1];
+    }
+
+    /// Number of top ranks (from the maximum downward) answerable as exact
+    /// order statistics from the tail buffer.
+    fn tail_exact_len(&self) -> usize {
+        self.count.min(TAIL_KEEP as u64) as usize
     }
 
     #[inline]
@@ -144,12 +167,27 @@ impl Histogram {
     }
 
     /// Value at quantile `q ∈ [0,1]`. Quantiles whose rank lands within the
-    /// retained exact tail (the largest [`TAIL_KEEP`] values — p99.9 of a
+    /// retained exact tail (the largest `TAIL_KEEP` values — p99.9 of a
     /// million-sample run, *every* quantile of a small run) are exact order
     /// statistics; lower ranks fall back to the bucket approximation
     /// (≈1.6 % relative error). Min/max are always exact. Returns 0 when
     /// empty.
     pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_inner(q, &mut None)
+    }
+
+    /// Values at several quantiles at once. Equivalent to calling
+    /// [`Self::quantile`] per entry, but the exact-tail buffer is sorted at
+    /// most once for the whole batch — use this on report paths that
+    /// summarize many percentiles of the same histogram.
+    pub fn quantiles<const N: usize>(&self, qs: [f64; N]) -> [u64; N] {
+        let mut sorted_tail = None;
+        qs.map(|q| self.quantile_inner(q, &mut sorted_tail))
+    }
+
+    /// [`Self::quantile`] with a caller-held cache of the descending-sorted
+    /// tail, filled on first use so a batch of queries sorts once.
+    fn quantile_inner(&self, q: f64, sorted_tail: &mut Option<Vec<u64>>) -> u64 {
         if self.count == 0 {
             return 0;
         }
@@ -162,12 +200,15 @@ impl Histogram {
         }
         let target = (q * self.count as f64).ceil() as u64;
         let from_top = self.count - target; // 0 = the maximum
-        if (from_top as usize) < self.tail.len() {
+        if (from_top as usize) < self.tail_exact_len() {
             // Rank falls inside the exact tail: return the true order
             // statistic. Queries are rare (report time), so sorting a copy
             // here beats paying for ordering on every record.
-            let mut sorted: Vec<u64> = self.tail.iter().map(|r| r.0).collect();
-            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let sorted = sorted_tail.get_or_insert_with(|| {
+                let mut s = self.tail.clone();
+                s.sort_unstable_by(|a, b| b.cmp(a));
+                s
+            });
             return sorted[from_top as usize];
         }
         let mut seen = 0u64;
@@ -199,8 +240,10 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
-        // Top-K of a union is the top-K of the two top-Ks.
-        for &Reverse(v) in other.tail.iter() {
+        // Top-K of a union is the top-K of the two top-Ks, and every entry
+        // in `other.tail` is a genuinely recorded value, so offering the
+        // whole buffer (a superset of other's top-K) preserves exactness.
+        for &v in other.tail.iter() {
             self.tail_push(v);
         }
     }
@@ -354,6 +397,34 @@ mod tests {
         b.record(9_999);
         for q in [0.5, 0.999, 0.9999, 1.0] {
             assert_eq!(a.quantile(q), b.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn tied_values_survive_tail_compaction() {
+        // Thousands of copies of one value force repeated buffer
+        // compactions where every candidate ties at the cut; the retained
+        // multiset must still be exact.
+        let mut h = Histogram::new();
+        for _ in 0..5 * TAIL_KEEP {
+            h.record(42_000);
+        }
+        h.record(99_000);
+        assert_eq!(h.quantile(0.999), 42_000);
+        assert_eq!(h.quantile(1.0), 99_000);
+        assert_eq!(h.count(), 5 * TAIL_KEEP as u64 + 1);
+    }
+
+    #[test]
+    fn batched_quantiles_match_single_queries() {
+        let mut h = Histogram::new();
+        for i in 0..30_000u64 {
+            h.record(1_000 + (i * 48_271) % 500_000);
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let batch = h.quantiles(qs);
+        for (q, b) in qs.iter().zip(batch) {
+            assert_eq!(h.quantile(*q), b, "q={q}");
         }
     }
 

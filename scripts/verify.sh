@@ -13,8 +13,8 @@ cargo test -q --offline --workspace
 echo "== clippy (offline, deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== docs (offline, no deps) =="
-cargo doc --no-deps --offline
+echo "== docs (offline, no deps, whole workspace, broken links denied) =="
+cargo doc --no-deps --offline --workspace
 
 echo "== smoke: regenerate Fig. 9 (tracing disabled => byte-identical CSV) =="
 cargo run --release --offline -p cagc-bench --bin repro -- fig9
@@ -48,5 +48,41 @@ cmp "$TRACE_TMP/qd1/sweep_qd.csv" "$TRACE_TMP/qd2/sweep_qd.csv" \
   || { echo "FAIL: same-seed sweep_qd.csv must be byte-identical"; exit 1; }
 cmp "$TRACE_TMP/qd1/gc_preempt_cdf.csv" "$TRACE_TMP/qd2/gc_preempt_cdf.csv" \
   || { echo "FAIL: same-seed gc_preempt_cdf.csv must be byte-identical"; exit 1; }
+
+echo "== perf: hotpath bench vs committed baseline (docs/PERFORMANCE.md) =="
+# Smoke-budget run of the hot-path suite (HARNESS_BENCH_FAST trims the
+# sample count; medians stay comparable because per-iteration time is
+# unchanged). Regressions beyond the tolerance fail like correctness
+# bugs; raise CAGC_BENCH_TOLERANCE_PCT on noisy machines.
+# cargo runs bench binaries with the package directory as cwd, so the
+# fresh artifact lands in crates/bench/; stash it in the temp dir.
+# Wall time only ever inflates under competing load, so a strict check is
+# retried: one quiet window in three attempts is enough to prove no
+# regression, while a real regression fails all three.
+mkdir -p "$TRACE_TMP/bench"
+perf_ok=0
+for attempt in 1 2 3; do
+  [ "$attempt" -gt 1 ] && echo "-- perf gate attempt $attempt (previous attempt hit noise or a regression)"
+  rm -f crates/bench/BENCH_hotpath.json
+  HARNESS_BENCH_FAST=1 cargo bench --offline -p cagc-bench --bench hotpath
+  mv crates/bench/BENCH_hotpath.json "$TRACE_TMP/bench/"
+  if cargo run --release --offline -p cagc-bench --bin bench_check -- \
+       results/BENCH_hotpath.json "$TRACE_TMP/bench/BENCH_hotpath.json" \
+       --speedup-ref results/BENCH_trace.json \
+       --speedup-ref-name gc_cycle_replay_tracing/disabled \
+       --speedup-bench hotpath/gc_heavy_replay --speedup-min 2.5 \
+     && cargo run --release --offline -p cagc-bench --bin bench_check -- \
+       results/BENCH_hotpath.json "$TRACE_TMP/bench/BENCH_hotpath.json" \
+       --speedup-ref results/BENCH_hotpath_seed.json \
+       --speedup-ref-name hotpath/gc_heavy_replay_1gb \
+       --speedup-bench hotpath/gc_heavy_replay_1gb --speedup-min 5.0; then
+    perf_ok=1
+    break
+  fi
+done
+if [ "$perf_ok" -ne 1 ]; then
+  echo "FAIL: hotpath bench regressed beyond tolerance in all 3 attempts (docs/PERFORMANCE.md)"
+  exit 1
+fi
 
 echo "verify: OK"

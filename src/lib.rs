@@ -46,6 +46,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub use cagc_core as core;
 pub use cagc_dedup as dedup;
