@@ -6,7 +6,8 @@
 //!
 //! CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13
 //!      ablate-placement ablate-overlap ablate-threshold ablate-watermark
-//!      compare-inline sweep-utilization sweep-trim sweep-faults sweep-qd wear
+//!      compare-inline sweep-utilization sweep-trim sweep-faults sweep-qd
+//!      sweep-fleet wear
 //!      smoke      (one seeded GC-heavy CAGC replay; with --trace, emits
 //!                  a Chrome trace + JSONL event log — see docs/OBSERVABILITY.md)
 //!      all        (tables + every figure)
@@ -30,7 +31,7 @@ fn usage() -> ! {
          \x20            [--trace PATH] [--trace-sample N] [--smoke] CMD...\n\
          CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13\n\
          \x20    ablate-placement ablate-overlap ablate-threshold ablate-watermark ablate-idle-gc\n\
-         \x20    compare-inline sweep-utilization sweep-trim sweep-faults sweep-qd wear\n\
+         \x20    compare-inline sweep-utilization sweep-trim sweep-faults sweep-qd sweep-fleet wear\n\
          \x20    smoke | all | ablations"
     );
     std::process::exit(2);
@@ -132,7 +133,7 @@ fn main() {
                     .map(String::from),
             ),
             "ablations" => expanded.extend(
-                ["ablate-placement", "ablate-overlap", "ablate-threshold", "ablate-watermark", "ablate-idle-gc", "compare-inline", "sweep-utilization", "sweep-trim", "sweep-faults", "sweep-qd", "wear"]
+                ["ablate-placement", "ablate-overlap", "ablate-threshold", "ablate-watermark", "ablate-idle-gc", "compare-inline", "sweep-utilization", "sweep-trim", "sweep-faults", "sweep-qd", "sweep-fleet", "wear"]
                     .map(String::from),
             ),
             _ => expanded.push(c),
@@ -187,6 +188,7 @@ fn main() {
             "sweep-trim" => exp::sweep_trim(&scale),
             "sweep-faults" => exp::sweep_faults(&scale),
             "sweep-qd" => exp::sweep_qd(&scale),
+            "sweep-fleet" => exp::sweep_fleet(&scale),
             "wear" => exp::wear_study(&scale),
             other => {
                 eprintln!("unknown command `{other}`");

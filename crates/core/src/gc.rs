@@ -593,6 +593,7 @@ impl Ssd {
                 // valid page was migrated before the erase was issued, so
                 // no data is stranded — only capacity is lost.
                 self.alloc.retire(victim);
+                self.first_retirement_ns.get_or_insert(at);
                 at
             }
             Err(FlashError::PowerLoss) => return Err(FlashError::PowerLoss),

@@ -38,7 +38,7 @@ pub mod ssd;
 pub use config::{Scheme, SsdConfig};
 pub use parallel::{run_cell, run_cells};
 pub use recovery::RecoveryReport;
-pub use report::{FaultReport, LatencySummary, RunReport};
+pub use report::{FaultReport, LatencySummary, RunReport, TrafficTotals};
 pub use ssd::Ssd;
 
 // Tracing entry points, re-exported so callers enabling tracing on an

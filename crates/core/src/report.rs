@@ -214,6 +214,12 @@ pub struct RunReport {
     /// Fault-injection counters ([`FaultReport::is_quiet`] on fault-free
     /// runs, and then omitted from JSON and rendering).
     pub faults: FaultReport,
+    /// Sim time of the first bad-block retirement, if any — the
+    /// "time-to-first-retirement" device-lifetime proxy the fleet layer
+    /// aggregates. Retirements only happen on injected erase failures, so
+    /// this rides the fault section's pay-as-you-go gating: `None` on
+    /// fault-free runs and then absent from JSON and rendering.
+    pub first_retirement_ns: Option<Nanos>,
     /// The most recent power-loss recovery pass, if one ran.
     pub recovery: Option<RecoveryReport>,
     /// Tracing summary (event/drop counts, gauge windows). `None` unless
@@ -243,6 +249,17 @@ impl RunReport {
             0.0
         } else {
             self.total_programs as f64 / self.host_pages_written as f64
+        }
+    }
+
+    /// Fraction of fingerprint-index lookups that found an existing copy
+    /// — the per-device dedup effectiveness number the fleet report rolls
+    /// up per tenant mix. 0.0 when the scheme never consulted the index.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.index.lookups == 0 {
+            0.0
+        } else {
+            self.index.hits as f64 / self.index.lookups as f64
         }
     }
 
@@ -322,6 +339,9 @@ impl RunReport {
                 f.trims_rejected,
                 f.journal_appends,
             ));
+            if let Some(ns) = self.first_retirement_ns {
+                out.push_str(&format!("\n\x20 lifetime : first block retired at {}", fmt_duration(ns)));
+            }
             if let Some(r) = &self.recovery {
                 out.push_str(&format!(
                     "\n\x20 recovery : {} pages scanned, {} journal entries, {} mappings, \
@@ -426,6 +446,9 @@ impl ToJson for RunReport {
         // JSON stays byte-identical to pre-fault-subsystem output.
         if !self.faults.is_quiet() || self.recovery.is_some() {
             fields.push(("faults", self.faults.to_json()));
+            if let Some(ns) = self.first_retirement_ns {
+                fields.push(("first_retirement_ns", Json::U64(ns)));
+            }
             if let Some(r) = &self.recovery {
                 fields.push(("recovery", r.to_json()));
             }
@@ -435,6 +458,83 @@ impl ToJson for RunReport {
             fields.push(("telemetry", t.to_json()));
         }
         Json::obj(fields)
+    }
+}
+
+/// Additive traffic counters across a set of runs — the fleet layer's
+/// per-tenant and fleet-wide rollup. Ratios (WAF, dedup hit rate) are
+/// recomputed from the summed counters, *not* averaged across runs, so a
+/// device writing 10x the pages weighs 10x in the aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficTotals {
+    /// Runs folded in.
+    pub runs: u64,
+    /// Host pages written across runs.
+    pub host_pages_written: u64,
+    /// Foreground flash programs across runs.
+    pub user_programs: u64,
+    /// All flash programs (foreground + GC migration) across runs.
+    pub total_programs: u64,
+    /// Block erases across runs.
+    pub total_erases: u64,
+    /// Fingerprint-index lookups across runs.
+    pub dedup_lookups: u64,
+    /// Fingerprint-index hits across runs.
+    pub dedup_hits: u64,
+    /// GC invocations across runs.
+    pub gc_invocations: u64,
+    /// GC page migrations across runs.
+    pub pages_migrated: u64,
+}
+
+impl TrafficTotals {
+    /// Fold one run's counters in.
+    pub fn add(&mut self, r: &RunReport) {
+        self.runs += 1;
+        self.host_pages_written += r.host_pages_written;
+        self.user_programs += r.user_programs;
+        self.total_programs += r.total_programs;
+        self.total_erases += r.total_erases;
+        self.dedup_lookups += r.index.lookups;
+        self.dedup_hits += r.index.hits;
+        self.gc_invocations += r.gc.invocations;
+        self.pages_migrated += r.gc.pages_migrated;
+    }
+
+    /// Aggregate write amplification: summed programs per summed host page.
+    pub fn waf(&self) -> f64 {
+        if self.host_pages_written == 0 {
+            0.0
+        } else {
+            self.total_programs as f64 / self.host_pages_written as f64
+        }
+    }
+
+    /// Aggregate dedup hit rate: summed hits per summed lookup.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.dedup_lookups == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.dedup_lookups as f64
+        }
+    }
+}
+
+impl ToJson for TrafficTotals {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("runs", Json::U64(self.runs)),
+            ("host_pages_written", Json::U64(self.host_pages_written)),
+            ("user_programs", Json::U64(self.user_programs)),
+            ("total_programs", Json::U64(self.total_programs)),
+            ("total_erases", Json::U64(self.total_erases)),
+            ("dedup_lookups", Json::U64(self.dedup_lookups)),
+            ("dedup_hits", Json::U64(self.dedup_hits)),
+            ("gc_invocations", Json::U64(self.gc_invocations)),
+            ("pages_migrated", Json::U64(self.pages_migrated)),
+            ("waf", Json::F64(self.waf())),
+            ("dedup_hit_rate", Json::F64(self.dedup_hit_rate())),
+        ])
     }
 }
 
@@ -485,11 +585,13 @@ mod tests {
             wear_stddev: 0.0,
             die_utilization: (0.0, 0.0, 0.0),
             faults: FaultReport::default(),
+            first_retirement_ns: None,
             recovery: None,
             telemetry: None,
             end_ns: 0,
         };
         assert_eq!(r.waf(), 0.0);
+        assert_eq!(r.dedup_hit_rate(), 0.0);
         assert!(r.render().contains("Baseline"));
         // Quiet faults stay out of both renderings entirely.
         assert!(!r.render().contains("faults"));
@@ -498,6 +600,13 @@ mod tests {
         noisy.faults.program_failures = 1;
         assert!(noisy.render().contains("faults"));
         assert!(noisy.to_json().render().contains("\"faults\""));
+        // First-retirement timestamp rides the fault section's gating.
+        assert!(!noisy.to_json().render().contains("first_retirement_ns"));
+        noisy.faults.erase_failures = 1;
+        noisy.faults.blocks_retired = 1;
+        noisy.first_retirement_ns = Some(5_000_000);
+        assert!(noisy.to_json().render().contains("\"first_retirement_ns\":5000000"));
+        assert!(noisy.render().contains("first block retired at"));
         // Untraced runs carry no telemetry section; traced runs do.
         assert!(!r.to_json().render().contains("telemetry"));
         let mut traced = r.clone();
@@ -510,5 +619,24 @@ mod tests {
         });
         assert!(traced.to_json().render().contains("\"telemetry\""));
         assert!(traced.render().contains("telemetry: 4 events recorded"));
+
+        // TrafficTotals recomputes ratios from summed counters.
+        let mut a = r.clone();
+        a.host_pages_written = 100;
+        a.total_programs = 300;
+        a.index.lookups = 100;
+        a.index.hits = 10;
+        let mut b = r.clone();
+        b.host_pages_written = 900;
+        b.total_programs = 900;
+        b.index.lookups = 900;
+        b.index.hits = 890;
+        let mut tot = TrafficTotals::default();
+        tot.add(&a);
+        tot.add(&b);
+        assert_eq!(tot.runs, 2);
+        assert!((tot.waf() - 1.2).abs() < 1e-12);
+        assert!((tot.dedup_hit_rate() - 0.9).abs() < 1e-12);
+        assert!(tot.to_json().render().contains("\"dedup_hits\":900"));
     }
 }

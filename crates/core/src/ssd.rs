@@ -149,6 +149,9 @@ pub struct Ssd {
     /// Scratch for batched blind migration: `(old ppn, new ppn, program
     /// end)` per migrated page, applied as one grouped metadata pass.
     pub(crate) gc_batch: Vec<(Ppn, Ppn, Nanos)>,
+    /// Sim time of the first bad-block retirement (erase failure), if any
+    /// — the fleet's "time-to-first-retirement" lifetime proxy.
+    pub(crate) first_retirement_ns: Option<Nanos>,
     end_ns: Nanos,
 }
 
@@ -198,6 +201,7 @@ impl Ssd {
             sharers_scratch: Vec::new(),
             valids_scratch: Vec::new(),
             gc_batch: Vec::new(),
+            first_retirement_ns: None,
             end_ns: 0,
             dev,
             cfg,
@@ -472,6 +476,7 @@ impl Ssd {
             wear_stddev: self.dev.wear_stddev(),
             die_utilization: self.die_utilization(),
             faults: self.fault_report(),
+            first_retirement_ns: self.first_retirement_ns,
             recovery: self.last_recovery.clone(),
             telemetry: self.tracer.report(),
             end_ns: self.end_ns,

@@ -1,0 +1,337 @@
+//! One fleet cell: a multi-tenant device replay with per-tenant QoS.
+//!
+//! The cell is a *pure function* of its [`DeviceSpec`]: same spec, same
+//! [`DeviceReport`], bit for bit — the property that lets the fleet
+//! layer schedule cells dynamically without changing results.
+//!
+//! Tenant streams are merged on the fly: a k-way heap walk in exactly
+//! the order `mixer::interleave_n_tagged` would produce (arrival time,
+//! ties by tenant index, FIFO within a tenant), with each tenant's LPNs
+//! offset into its own namespace. In direct mode nothing is
+//! materialized — merged requests feed `Ssd::process` one at a time —
+//! so per-device transient memory is O(1) beyond the shared traces.
+//! With host queues configured, the merged trace is materialized
+//! transiently and replayed through the NVMe-style multi-queue
+//! interface instead, giving host-observed (queueing-inclusive) tenant
+//! latencies.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use cagc_core::{RunReport, Scheme, Ssd, SsdConfig, TrafficTotals};
+use cagc_flash::UllConfig;
+use cagc_harness::{Json, ToJson};
+use cagc_host::{HostConfig, HostInterface};
+use cagc_metrics::Histogram;
+use cagc_core::LatencySummary;
+use cagc_sim::time::Nanos;
+use cagc_workloads::{mixer, OpKind, Request, Trace};
+
+/// One tenant's stream on a device: a display label and a shared handle
+/// to its (immutable) trace.
+#[derive(Debug, Clone)]
+pub struct TenantTrace {
+    /// Display label, e.g. `"Mail[0]"`.
+    pub label: String,
+    /// The tenant's trace, shared across every device replaying it.
+    pub trace: Arc<Trace>,
+}
+
+/// Everything that determines one device's simulation.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Device index within the fleet.
+    pub id: u32,
+    /// Name of the tenant mix this device serves.
+    pub mix_name: String,
+    /// FTL scheme under test.
+    pub scheme: Scheme,
+    /// Device shape and timing.
+    pub flash: UllConfig,
+    /// Tenant streams, in namespace order.
+    pub tenants: Vec<TenantTrace>,
+    /// `Some((queue_pairs, queue_depth))` replays through the NVMe-style
+    /// host interface; `None` feeds the FTL directly.
+    pub host_queues: Option<(u32, u32)>,
+}
+
+/// Per-tenant accounting for one device.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant label (from [`TenantTrace::label`]).
+    pub tenant: String,
+    /// Requests the tenant issued.
+    pub requests: u64,
+    /// Pages the tenant wrote.
+    pub pages_written: u64,
+    /// Pages the tenant read.
+    pub pages_read: u64,
+    /// Trim requests the tenant issued.
+    pub trims: u64,
+    /// Tenant-observed latency distribution (device service time in
+    /// direct mode, host end-to-end time in host mode). Kept as a full
+    /// histogram so the fleet layer can merge across devices exactly.
+    pub hist: Histogram,
+}
+
+impl TenantReport {
+    /// Latency summary of this tenant's distribution.
+    pub fn lat(&self) -> LatencySummary {
+        LatencySummary::of(&self.hist)
+    }
+}
+
+impl ToJson for TenantReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("tenant", Json::Str(self.tenant.clone())),
+            ("requests", Json::U64(self.requests)),
+            ("pages_written", Json::U64(self.pages_written)),
+            ("pages_read", Json::U64(self.pages_read)),
+            ("trims", Json::U64(self.trims)),
+            ("lat", self.lat().to_json()),
+        ])
+    }
+}
+
+/// One device's result: distilled device-level counters plus per-tenant
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// Device index within the fleet.
+    pub device: u32,
+    /// Tenant-mix name the device served.
+    pub mix: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// This device's additive traffic counters (one run folded in).
+    pub totals: TrafficTotals,
+    /// Device-level all-request latency summary.
+    pub lat: LatencySummary,
+    /// GC blocks erased.
+    pub erases: u64,
+    /// Sim time of the first bad-block retirement, if any (lifetime
+    /// proxy; `None` on fault-free runs).
+    pub first_retirement_ns: Option<Nanos>,
+    /// Sim time when the device finished its replay.
+    pub end_ns: Nanos,
+    /// Per-tenant accounting, in namespace order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl DeviceReport {
+    /// Write amplification of this device.
+    pub fn waf(&self) -> f64 {
+        self.totals.waf()
+    }
+
+    /// Dedup hit rate of this device.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        self.totals.dedup_hit_rate()
+    }
+
+    fn from_run(spec: &DeviceSpec, run: &RunReport, tenants: Vec<TenantReport>) -> Self {
+        let mut totals = TrafficTotals::default();
+        totals.add(run);
+        Self {
+            device: spec.id,
+            mix: spec.mix_name.clone(),
+            scheme: spec.scheme.name().to_string(),
+            totals,
+            lat: run.all.clone(),
+            erases: run.total_erases,
+            first_retirement_ns: run.first_retirement_ns,
+            end_ns: run.end_ns,
+            tenants,
+        }
+    }
+}
+
+impl ToJson for DeviceReport {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(&'static str, Json)> = Vec::from([
+            ("device", Json::U64(u64::from(self.device))),
+            ("mix", Json::Str(self.mix.clone())),
+            ("scheme", Json::Str(self.scheme.clone())),
+            ("waf", Json::F64(self.waf())),
+            ("dedup_hit_rate", Json::F64(self.dedup_hit_rate())),
+            ("erases", Json::U64(self.erases)),
+            ("host_pages_written", Json::U64(self.totals.host_pages_written)),
+            ("lat", self.lat.to_json()),
+            ("end_ns", Json::U64(self.end_ns)),
+        ]);
+        // Same pay-as-you-go gating as RunReport: retirements only exist
+        // under fault injection, so fault-free fleets omit the key.
+        if let Some(ns) = self.first_retirement_ns {
+            fields.push(("first_retirement_ns", Json::U64(ns)));
+        }
+        fields.push(("tenants", Json::Arr(self.tenants.iter().map(|t| t.to_json()).collect())));
+        Json::obj(fields)
+    }
+}
+
+/// Traffic-side tenant counters, computed from the trace itself (they
+/// do not depend on the device's behavior).
+fn tenant_traffic(label: &str, trace: &Trace) -> TenantReport {
+    let mut t = TenantReport {
+        tenant: label.to_string(),
+        requests: trace.requests.len() as u64,
+        pages_written: 0,
+        pages_read: 0,
+        trims: 0,
+        hist: Histogram::new(),
+    };
+    for r in &trace.requests {
+        match r.kind {
+            OpKind::Write => t.pages_written += u64::from(r.pages),
+            OpKind::Read => t.pages_read += u64::from(r.pages),
+            OpKind::Trim => t.trims += 1,
+        }
+    }
+    t
+}
+
+/// Simulate one device: build the SSD, merge-replay the tenant streams,
+/// account latency per tenant, and distill the report.
+///
+/// # Panics
+/// Panics if the tenants' combined namespace exceeds the device's
+/// logical space.
+pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
+    let total_pages: u64 = spec.tenants.iter().map(|t| t.trace.logical_pages).sum();
+    let cfg = SsdConfig::paper(spec.flash, spec.scheme);
+    let ssd = Ssd::new(cfg);
+    assert!(
+        total_pages <= ssd.logical_pages(),
+        "device {}: tenants need {total_pages} logical pages, device exports {}",
+        spec.id,
+        ssd.logical_pages()
+    );
+    let mut tenants: Vec<TenantReport> =
+        spec.tenants.iter().map(|t| tenant_traffic(&t.label, &t.trace)).collect();
+
+    match spec.host_queues {
+        None => {
+            let run = replay_direct(ssd, spec, &mut tenants);
+            DeviceReport::from_run(spec, &run, tenants)
+        }
+        Some((pairs, depth)) => {
+            // Materialize the merged trace transiently (only while this
+            // cell is in flight) and replay it through the multi-queue
+            // host path; tags attribute each command's host-observed
+            // latency back to its tenant.
+            let refs: Vec<&Trace> = spec.tenants.iter().map(|t| t.trace.as_ref()).collect();
+            let (merged, tags) = mixer::interleave_n_tagged(&refs);
+            let mut host = HostInterface::new(ssd, HostConfig::nvme(pairs, depth));
+            let (hreport, lats) = host.replay_open_loop_detailed(&merged);
+            for (cmd, &tag) in lats.iter().zip(&tags) {
+                tenants[tag as usize].hist.record(cmd.latency_ns());
+            }
+            DeviceReport::from_run(spec, &hreport.device, tenants)
+        }
+    }
+}
+
+/// Direct-mode replay: stream the k-way merge straight into the FTL,
+/// recording per-tenant device service latency. Mirrors
+/// `mixer::interleave_n_tagged` order without materializing anything.
+fn replay_direct(mut ssd: Ssd, spec: &DeviceSpec, tenants: &mut [TenantReport]) -> RunReport {
+    // Namespace layout identical to interleave_n: tenant i owns
+    // [offsets[i], offsets[i] + pages_i).
+    let mut offsets = Vec::with_capacity(spec.tenants.len());
+    let mut total = 0u64;
+    for t in &spec.tenants {
+        offsets.push(total);
+        total += t.trace.logical_pages;
+    }
+
+    let mut pos = vec![0usize; spec.tenants.len()];
+    let mut heap: BinaryHeap<Reverse<(Nanos, usize)>> = BinaryHeap::new();
+    for (i, t) in spec.tenants.iter().enumerate() {
+        if let Some(r) = t.trace.requests.first() {
+            heap.push(Reverse((r.at_ns, i)));
+        }
+    }
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let trace = &spec.tenants[i].trace;
+        let r = &trace.requests[pos[i]];
+        pos[i] += 1;
+        if let Some(next) = trace.requests.get(pos[i]) {
+            heap.push(Reverse((next.at_ns, i)));
+        }
+        let req = Request { lpn: r.lpn + offsets[i], ..r.clone() };
+        let done = ssd.process(&req);
+        tenants[i].hist.record(done.saturating_sub(req.at_ns));
+    }
+    ssd.report(&spec.mix_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagc_workloads::FiuWorkload;
+
+    fn spec(host_queues: Option<(u32, u32)>) -> DeviceSpec {
+        let flash = UllConfig::tiny_for_tests();
+        let mut lib = crate::library::TraceLibrary::new();
+        let pages = (flash.logical_pages() as f64 * 0.9 / 2.0) as u64;
+        DeviceSpec {
+            id: 3,
+            mix_name: "test-mix".into(),
+            scheme: Scheme::Cagc,
+            flash,
+            tenants: vec![
+                TenantTrace {
+                    label: "Mail[0]".into(),
+                    trace: lib.get(FiuWorkload::Mail, pages, 400, 11, 1.0),
+                },
+                TenantTrace {
+                    label: "Homes[1]".into(),
+                    trace: lib.get(FiuWorkload::Homes, pages, 400, 11, 1.0),
+                },
+            ],
+            host_queues,
+        }
+    }
+
+    #[test]
+    fn direct_mode_attributes_every_request() {
+        let s = spec(None);
+        let rep = simulate_device(&s);
+        let per_tenant: u64 = rep.tenants.iter().map(|t| t.hist.count()).sum();
+        let issued: u64 = s.tenants.iter().map(|t| t.trace.requests.len() as u64).sum();
+        assert_eq!(per_tenant, issued, "every merged request is attributed to a tenant");
+        assert!(rep.waf() > 0.0);
+        assert!(rep.end_ns > 0);
+        assert_eq!(rep.first_retirement_ns, None, "fault-free run never retires a block");
+        assert!(!rep.to_json().render().contains("first_retirement_ns"));
+    }
+
+    #[test]
+    fn direct_mode_equals_materialized_interleave() {
+        // The streaming merge must be indistinguishable from replaying
+        // the materialized interleave_n trace on an identical device.
+        let s = spec(None);
+        let streamed = simulate_device(&s);
+        let refs: Vec<&Trace> = s.tenants.iter().map(|t| t.trace.as_ref()).collect();
+        let merged = mixer::interleave_n(&refs);
+        let mut ssd = Ssd::new(SsdConfig::paper(s.flash, s.scheme));
+        let run = ssd.replay(&merged);
+        assert_eq!(streamed.totals.total_programs, run.total_programs);
+        assert_eq!(streamed.erases, run.total_erases);
+        assert_eq!(streamed.end_ns, run.end_ns);
+        assert_eq!(streamed.lat.count, run.all.count);
+        assert_eq!(streamed.lat.p99_ns, run.all.p99_ns);
+    }
+
+    #[test]
+    fn host_mode_reports_end_to_end_latency() {
+        let rep = simulate_device(&spec(Some((2, 8))));
+        let per_tenant: u64 = rep.tenants.iter().map(|t| t.hist.count()).sum();
+        assert!(per_tenant > 0);
+        assert!(rep.waf() > 0.0);
+        let j = rep.to_json().render();
+        assert!(j.contains("\"tenants\"") && j.contains("Mail[0]"));
+    }
+}

@@ -1,0 +1,182 @@
+//! The fleet fan-out: compose device specs, schedule them dynamically,
+//! aggregate the results.
+
+use cagc_core::Scheme;
+use cagc_flash::UllConfig;
+use cagc_harness::pool::map_ordered_dynamic_chunked;
+
+use crate::device::{simulate_device, DeviceSpec, TenantTrace};
+use crate::library::TraceLibrary;
+use crate::mix::TenantMix;
+use crate::report::FleetReport;
+
+/// Everything that determines a fleet run. Two equal configs produce
+/// byte-identical [`FleetReport`]s at any worker count.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of devices in the fleet.
+    pub devices: usize,
+    /// Tenant mixes; device `d` serves `mixes[d % mixes.len()]`.
+    pub mixes: Vec<TenantMix>,
+    /// FTL scheme every device runs.
+    pub scheme: Scheme,
+    /// Device shape and timing.
+    pub flash: UllConfig,
+    /// Timed requests generated per tenant stream.
+    pub requests_per_tenant: usize,
+    /// Fraction of each device's logical space the tenants share
+    /// (split evenly between a mix's tenants).
+    pub footprint_frac: f64,
+    /// Base PRNG seed.
+    pub seed: u64,
+    /// Distinct trace variants per tenant slot: device `d` draws from
+    /// seed group `d % seed_groups`, so devices differ while trace
+    /// memory stays bounded by `mixes × slots × seed_groups` — never by
+    /// the device count.
+    pub seed_groups: usize,
+    /// Worker threads for the fan-out (0 = machine parallelism).
+    pub workers: usize,
+    /// Devices claimed per scheduler grab. 1 maximizes balance; larger
+    /// chunks amortize claiming on huge fleets.
+    pub chunk: usize,
+    /// `Some((queue_pairs, queue_depth))` replays every device through
+    /// the NVMe-style host interface (host-observed tenant latency);
+    /// `None` feeds FTLs directly.
+    pub host_queues: Option<(u32, u32)>,
+}
+
+impl FleetConfig {
+    /// A small fleet on the tiny test device — fast enough for unit
+    /// tests and the CI smoke gate.
+    pub fn small_test() -> Self {
+        Self {
+            devices: 6,
+            mixes: vec![TenantMix::balanced(), TenantMix::noisy_neighbor()],
+            scheme: Scheme::Cagc,
+            flash: UllConfig::tiny_for_tests(),
+            requests_per_tenant: 300,
+            footprint_frac: 0.90,
+            seed: 7,
+            seed_groups: 2,
+            workers: 1,
+            chunk: 1,
+            host_queues: None,
+        }
+    }
+}
+
+/// Build the per-device specs: intern every tenant trace in the
+/// [`TraceLibrary`] and hand out shared `Arc` handles. Runs serially —
+/// trace generation is deterministic and its order must not depend on
+/// scheduling.
+fn build_specs(cfg: &FleetConfig, lib: &mut TraceLibrary) -> Vec<DeviceSpec> {
+    let logical = cfg.flash.logical_pages();
+    (0..cfg.devices)
+        .map(|d| {
+            let mix = &cfg.mixes[d % cfg.mixes.len()];
+            let group = (d % cfg.seed_groups.max(1)) as u64;
+            let per_tenant_pages =
+                (logical as f64 * cfg.footprint_frac / mix.tenants.len() as f64) as u64;
+            let tenants = mix
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(slot, ts)| TenantTrace {
+                    label: format!("{}[{slot}]", ts.workload.name()),
+                    trace: lib.get(
+                        ts.workload,
+                        per_tenant_pages,
+                        cfg.requests_per_tenant,
+                        // Distinct seed per (group, slot): devices in
+                        // different groups see different streams, while
+                        // same-group devices share the same Arcs.
+                        cfg.seed.wrapping_add(group * 1009 + slot as u64 * 523),
+                        ts.rate_factor,
+                    ),
+                })
+                .collect();
+            DeviceSpec {
+                id: d as u32,
+                mix_name: mix.name.to_string(),
+                scheme: cfg.scheme,
+                flash: cfg.flash,
+                tenants,
+                host_queues: cfg.host_queues,
+            }
+        })
+        .collect()
+}
+
+/// Run the whole fleet: every device cell is a pure function of its
+/// spec, scheduled over the deterministic dynamic pool (small chunks
+/// claimed from a shared cursor), results collected in device order and
+/// rolled up. Output is byte-identical at every worker count.
+///
+/// # Panics
+/// Panics on an empty fleet, empty mix list, or a footprint outside
+/// `(0, 1]`.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    assert!(cfg.devices > 0, "empty fleet");
+    assert!(!cfg.mixes.is_empty(), "no tenant mixes");
+    assert!(
+        cfg.footprint_frac > 0.0 && cfg.footprint_frac <= 1.0,
+        "footprint fraction {} outside (0, 1]",
+        cfg.footprint_frac
+    );
+    let mut lib = TraceLibrary::new();
+    let specs = build_specs(cfg, &mut lib);
+    let reports =
+        map_ordered_dynamic_chunked(&specs, cfg.workers, cfg.chunk.max(1), simulate_device);
+    FleetReport::aggregate(reports, lib.distinct())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn report_is_byte_identical_across_worker_counts() {
+        use cagc_harness::ToJson;
+        let mut cfg = FleetConfig::small_test();
+        let baseline = run_fleet(&cfg).to_json().render();
+        for workers in [2usize, 3, 8] {
+            cfg.workers = workers;
+            cfg.chunk = if workers == 3 { 2 } else { 1 };
+            let got = run_fleet(&cfg).to_json().render();
+            assert_eq!(got, baseline, "workers={workers} changed the fleet report");
+        }
+    }
+
+    #[test]
+    fn trace_memory_scales_with_mixes_not_devices() {
+        let mut cfg = FleetConfig::small_test();
+        let mut lib_small = TraceLibrary::new();
+        let _ = build_specs(&cfg, &mut lib_small);
+        cfg.devices *= 4;
+        let mut lib_big = TraceLibrary::new();
+        let specs_big = build_specs(&cfg, &mut lib_big);
+        assert_eq!(
+            lib_small.distinct(),
+            lib_big.distinct(),
+            "4x devices must not generate new traces"
+        );
+        // Same-group devices share the same allocation, not a copy.
+        let a = &specs_big[0].tenants[0].trace;
+        let b = &specs_big[cfg.mixes.len() * cfg.seed_groups].tenants[0].trace;
+        assert!(Arc::ptr_eq(a, b), "same (mix, group, slot) must share one Arc");
+    }
+
+    #[test]
+    fn device_assignment_round_robins_mixes() {
+        let cfg = FleetConfig::small_test();
+        let rep = run_fleet(&cfg);
+        assert_eq!(rep.devices.len(), cfg.devices);
+        for (d, dev) in rep.devices.iter().enumerate() {
+            assert_eq!(dev.device as usize, d);
+            assert_eq!(dev.mix, cfg.mixes[d % cfg.mixes.len()].name);
+        }
+        assert!(rep.fleet.runs == cfg.devices as u64);
+        assert!(rep.waf() > 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Named tenant blends: which workloads share a device, at what rate.
+
+use cagc_workloads::FiuWorkload;
+
+/// One tenant slot in a mix: a workload model and its arrival-rate
+/// factor. The factor multiplies interarrival gaps (`mixer::scale_rate`
+/// semantics): 0.5 arrives twice as fast, 2.0 half as fast.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantSpec {
+    /// Workload model for this tenant's namespace.
+    pub workload: FiuWorkload,
+    /// Arrival-time multiplier (must be positive).
+    pub rate_factor: f64,
+}
+
+impl TenantSpec {
+    /// A tenant at the workload's native rate.
+    pub fn new(workload: FiuWorkload) -> Self {
+        Self { workload, rate_factor: 1.0 }
+    }
+
+    /// A tenant with a scaled arrival rate.
+    pub fn at_rate(workload: FiuWorkload, rate_factor: f64) -> Self {
+        assert!(rate_factor > 0.0, "rate factor must be positive");
+        Self { workload, rate_factor }
+    }
+}
+
+/// A named multi-tenant blend assigned to a device.
+#[derive(Debug, Clone)]
+pub struct TenantMix {
+    /// Mix name (carried into reports and CSV rows).
+    pub name: &'static str,
+    /// The tenants sharing the device, in namespace order.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl TenantMix {
+    /// One tenant of each FIU workload at native rate — the neutral
+    /// reference blend.
+    pub fn balanced() -> Self {
+        Self {
+            name: "balanced",
+            tenants: FiuWorkload::ALL.iter().map(|&w| TenantSpec::new(w)).collect(),
+        }
+    }
+
+    /// Two mail tenants (one at double rate) plus a file server — the
+    /// dedup-rich blend where CAGC's content-awareness matters most.
+    pub fn mail_heavy() -> Self {
+        Self {
+            name: "mail-heavy",
+            tenants: vec![
+                TenantSpec::at_rate(FiuWorkload::Mail, 0.5),
+                TenantSpec::new(FiuWorkload::Mail),
+                TenantSpec::new(FiuWorkload::Homes),
+            ],
+        }
+    }
+
+    /// Two web-vm tenants driving large sequential-ish requests plus a
+    /// slow file server — the bandwidth-heavy blend.
+    pub fn web_burst() -> Self {
+        Self {
+            name: "web-burst",
+            tenants: vec![
+                TenantSpec::at_rate(FiuWorkload::WebVm, 0.5),
+                TenantSpec::new(FiuWorkload::WebVm),
+                TenantSpec::at_rate(FiuWorkload::Homes, 1.5),
+            ],
+        }
+    }
+
+    /// One mail tenant at 8x rate next to two quiet file servers — the
+    /// noisy-neighbor shape that skews per-device runtimes and exercises
+    /// the dynamic scheduler.
+    pub fn noisy_neighbor() -> Self {
+        Self {
+            name: "noisy-neighbor",
+            tenants: vec![
+                TenantSpec::at_rate(FiuWorkload::Mail, 0.125),
+                TenantSpec::at_rate(FiuWorkload::Homes, 2.0),
+                TenantSpec::at_rate(FiuWorkload::Homes, 2.0),
+            ],
+        }
+    }
+
+    /// Every preset, in sweep order.
+    pub fn all() -> Vec<TenantMix> {
+        vec![Self::balanced(), Self::mail_heavy(), Self::web_burst(), Self::noisy_neighbor()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_wellformed() {
+        for mix in TenantMix::all() {
+            assert!(!mix.tenants.is_empty(), "{} has no tenants", mix.name);
+            for t in &mix.tenants {
+                assert!(t.rate_factor > 0.0);
+            }
+        }
+        let names: Vec<_> = TenantMix::all().iter().map(|m| m.name).collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "mix names must be unique");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        TenantSpec::at_rate(FiuWorkload::Mail, 0.0);
+    }
+}

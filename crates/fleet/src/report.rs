@@ -1,0 +1,305 @@
+//! Fleet-wide aggregation: per-mix and per-tenant rollups, JSON/CSV
+//! export.
+//!
+//! Everything here is computed by folding device reports **in device
+//! order**, so the aggregate — like the per-device results it is built
+//! from — is byte-identical across worker counts. Ratios are recomputed
+//! from summed counters ([`TrafficTotals`] semantics), and tenant
+//! latency is aggregated by merging the full per-device histograms, not
+//! by averaging summaries.
+
+use cagc_core::{LatencySummary, TrafficTotals};
+use cagc_harness::{Json, ToJson};
+use cagc_metrics::Histogram;
+use cagc_sim::time::Nanos;
+
+use crate::device::DeviceReport;
+
+/// Rollup over every device serving one tenant mix.
+#[derive(Debug, Clone)]
+pub struct MixSummary {
+    /// Mix name.
+    pub mix: String,
+    /// Devices serving this mix.
+    pub devices: u64,
+    /// Summed traffic counters across those devices.
+    pub totals: TrafficTotals,
+    /// Earliest first-retirement time across those devices, if any.
+    pub earliest_retirement_ns: Option<Nanos>,
+}
+
+impl ToJson for MixSummary {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(&'static str, Json)> = Vec::from([
+            ("mix", Json::Str(self.mix.clone())),
+            ("devices", Json::U64(self.devices)),
+            ("waf", Json::F64(self.totals.waf())),
+            ("dedup_hit_rate", Json::F64(self.totals.dedup_hit_rate())),
+            ("totals", self.totals.to_json()),
+        ]);
+        if let Some(ns) = self.earliest_retirement_ns {
+            fields.push(("earliest_retirement_ns", Json::U64(ns)));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Rollup over one tenant slot of one mix, across every device serving
+/// that mix.
+#[derive(Debug, Clone)]
+pub struct TenantSummary {
+    /// Mix name.
+    pub mix: String,
+    /// Tenant label within the mix (e.g. `"Mail[0]"`).
+    pub tenant: String,
+    /// Devices contributing.
+    pub devices: u64,
+    /// Requests across devices.
+    pub requests: u64,
+    /// Pages written across devices.
+    pub pages_written: u64,
+    /// Pages read across devices.
+    pub pages_read: u64,
+    /// Merged latency distribution across devices.
+    pub hist: Histogram,
+}
+
+impl TenantSummary {
+    /// Latency summary of the merged distribution.
+    pub fn lat(&self) -> LatencySummary {
+        LatencySummary::of(&self.hist)
+    }
+}
+
+impl ToJson for TenantSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mix", Json::Str(self.mix.clone())),
+            ("tenant", Json::Str(self.tenant.clone())),
+            ("devices", Json::U64(self.devices)),
+            ("requests", Json::U64(self.requests)),
+            ("pages_written", Json::U64(self.pages_written)),
+            ("pages_read", Json::U64(self.pages_read)),
+            ("lat", self.lat().to_json()),
+        ])
+    }
+}
+
+/// The full fleet result: per-device reports plus the rollups.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-device results, in device order.
+    pub devices: Vec<DeviceReport>,
+    /// Fleet-wide summed traffic counters.
+    pub fleet: TrafficTotals,
+    /// Per-mix rollups, in first-appearance (device) order.
+    pub by_mix: Vec<MixSummary>,
+    /// Per-(mix, tenant) rollups, in first-appearance order.
+    pub by_tenant: Vec<TenantSummary>,
+    /// Distinct traces the run generated (the shared-memory footprint).
+    pub distinct_traces: usize,
+    /// Devices that retired at least one block.
+    pub retired_devices: u64,
+    /// Earliest first-retirement time across the fleet, if any device
+    /// retired a block.
+    pub earliest_retirement_ns: Option<Nanos>,
+}
+
+impl FleetReport {
+    /// Fold per-device reports into the fleet rollups. Deterministic:
+    /// pure fold in device order.
+    pub fn aggregate(devices: Vec<DeviceReport>, distinct_traces: usize) -> Self {
+        let mut fleet = TrafficTotals::default();
+        let mut by_mix: Vec<MixSummary> = Vec::new();
+        let mut by_tenant: Vec<TenantSummary> = Vec::new();
+        let mut retired_devices = 0u64;
+        let mut earliest: Option<Nanos> = None;
+        for dev in &devices {
+            merge_totals(&mut fleet, &dev.totals);
+            if let Some(ns) = dev.first_retirement_ns {
+                retired_devices += 1;
+                earliest = Some(earliest.map_or(ns, |e: Nanos| e.min(ns)));
+            }
+            let mix = match by_mix.iter_mut().find(|m| m.mix == dev.mix) {
+                Some(m) => m,
+                None => {
+                    by_mix.push(MixSummary {
+                        mix: dev.mix.clone(),
+                        devices: 0,
+                        totals: TrafficTotals::default(),
+                        earliest_retirement_ns: None,
+                    });
+                    by_mix.last_mut().unwrap()
+                }
+            };
+            mix.devices += 1;
+            merge_totals(&mut mix.totals, &dev.totals);
+            if let Some(ns) = dev.first_retirement_ns {
+                mix.earliest_retirement_ns =
+                    Some(mix.earliest_retirement_ns.map_or(ns, |e| e.min(ns)));
+            }
+            for t in &dev.tenants {
+                let entry = match by_tenant
+                    .iter_mut()
+                    .find(|s| s.mix == dev.mix && s.tenant == t.tenant)
+                {
+                    Some(s) => s,
+                    None => {
+                        by_tenant.push(TenantSummary {
+                            mix: dev.mix.clone(),
+                            tenant: t.tenant.clone(),
+                            devices: 0,
+                            requests: 0,
+                            pages_written: 0,
+                            pages_read: 0,
+                            hist: Histogram::new(),
+                        });
+                        by_tenant.last_mut().unwrap()
+                    }
+                };
+                entry.devices += 1;
+                entry.requests += t.requests;
+                entry.pages_written += t.pages_written;
+                entry.pages_read += t.pages_read;
+                entry.hist.merge(&t.hist);
+            }
+        }
+        Self {
+            devices,
+            fleet,
+            by_mix,
+            by_tenant,
+            distinct_traces,
+            retired_devices,
+            earliest_retirement_ns: earliest,
+        }
+    }
+
+    /// Fleet-wide write amplification (summed counters).
+    pub fn waf(&self) -> f64 {
+        self.fleet.waf()
+    }
+
+    /// Fleet-wide dedup hit rate (summed counters).
+    pub fn dedup_hit_rate(&self) -> f64 {
+        self.fleet.dedup_hit_rate()
+    }
+
+    /// Per-device CSV: one row per device, exact integer ns.
+    pub fn device_csv(&self) -> String {
+        let mut out = String::from(
+            "device,mix,scheme,waf,dedup_hit_rate,erases,host_pages,p50_ns,p99_ns,p999_ns,end_ns\n",
+        );
+        for d in &self.devices {
+            out.push_str(&format!(
+                "{},{},{},{:.4},{:.4},{},{},{},{},{},{}\n",
+                d.device,
+                d.mix,
+                d.scheme,
+                d.waf(),
+                d.dedup_hit_rate(),
+                d.erases,
+                d.totals.host_pages_written,
+                d.lat.p50_ns,
+                d.lat.p99_ns,
+                d.lat.p999_ns,
+                d.end_ns,
+            ));
+        }
+        out
+    }
+
+    /// Per-tenant QoS CSV: one row per (mix, tenant), latency from the
+    /// merged cross-device distribution.
+    pub fn qos_csv(&self) -> String {
+        let mut out = String::from(
+            "mix,tenant,devices,requests,pages_written,p50_ns,p90_ns,p99_ns,p999_ns,max_ns\n",
+        );
+        for t in &self.by_tenant {
+            let lat = t.lat();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                t.mix,
+                t.tenant,
+                t.devices,
+                t.requests,
+                t.pages_written,
+                lat.p50_ns,
+                lat.p90_ns,
+                lat.p99_ns,
+                lat.p999_ns,
+                lat.max_ns,
+            ));
+        }
+        out
+    }
+
+    /// Short human summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fleet: {} devices, {} mixes, {} distinct traces\n\
+             \x20 waf {:.4}, dedup hit rate {:.4}, {} erases, {} host pages",
+            self.devices.len(),
+            self.by_mix.len(),
+            self.distinct_traces,
+            self.waf(),
+            self.dedup_hit_rate(),
+            self.fleet.total_erases,
+            self.fleet.host_pages_written,
+        );
+        if let Some(ns) = self.earliest_retirement_ns {
+            out.push_str(&format!(
+                "\n\x20 lifetime: {} devices retired a block, earliest at {ns} ns",
+                self.retired_devices
+            ));
+        }
+        for m in &self.by_mix {
+            out.push_str(&format!(
+                "\n\x20 mix {:<16} {} devs  waf {:.4}  dedup {:.4}",
+                m.mix,
+                m.devices,
+                m.totals.waf(),
+                m.totals.dedup_hit_rate()
+            ));
+        }
+        out
+    }
+}
+
+impl ToJson for FleetReport {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(&'static str, Json)> = Vec::from([
+            ("devices", Json::U64(self.devices.len() as u64)),
+            ("distinct_traces", Json::U64(self.distinct_traces as u64)),
+            ("waf", Json::F64(self.waf())),
+            ("dedup_hit_rate", Json::F64(self.dedup_hit_rate())),
+            ("fleet", self.fleet.to_json()),
+            ("by_mix", Json::Arr(self.by_mix.iter().map(|m| m.to_json()).collect())),
+            ("by_tenant", Json::Arr(self.by_tenant.iter().map(|t| t.to_json()).collect())),
+        ]);
+        // Pay-as-you-go: fault-free fleets carry no lifetime section.
+        if self.earliest_retirement_ns.is_some() || self.retired_devices > 0 {
+            fields.push(("retired_devices", Json::U64(self.retired_devices)));
+            if let Some(ns) = self.earliest_retirement_ns {
+                fields.push(("earliest_retirement_ns", Json::U64(ns)));
+            }
+        }
+        fields
+            .push(("per_device", Json::Arr(self.devices.iter().map(|d| d.to_json()).collect())));
+        Json::obj(fields)
+    }
+}
+
+/// Sum `src` into `dst` field-by-field (TrafficTotals has no Add impl to
+/// keep it a plain counter bag; runs accumulate, everything else sums).
+fn merge_totals(dst: &mut TrafficTotals, src: &TrafficTotals) {
+    dst.runs += src.runs;
+    dst.host_pages_written += src.host_pages_written;
+    dst.user_programs += src.user_programs;
+    dst.total_programs += src.total_programs;
+    dst.total_erases += src.total_erases;
+    dst.dedup_lookups += src.dedup_lookups;
+    dst.dedup_hits += src.dedup_hits;
+    dst.gc_invocations += src.gc_invocations;
+    dst.pages_migrated += src.pages_migrated;
+}

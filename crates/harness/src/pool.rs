@@ -1,24 +1,43 @@
 //! Scoped worker-thread pool with deterministic work partitioning.
 //!
 //! The simulator is single-threaded and deterministic; what runs in
-//! parallel is the *grid around it* — experiment cells, batch hashing —
-//! which is embarrassingly parallel. This module gives that fan-out a
-//! fixed contract:
+//! parallel is the *grid around it* — experiment cells, fleet devices,
+//! batch hashing — which is embarrassingly parallel. This module gives
+//! that fan-out a fixed contract:
 //!
-//! * **Deterministic partitioning** — work is split into contiguous
-//!   chunks, one per worker, computed purely from `(items, workers)`.
-//!   No work stealing, no scheduler-dependent assignment: the same call
-//!   always hands the same items to the same worker index.
+//! * **Deterministic partitioning** — work is split into chunks whose
+//!   boundaries are computed purely from the input, never from scheduler
+//!   state. The *static* path ([`map_ordered`]) hands one contiguous
+//!   chunk to each worker; the *dynamic* path ([`map_ordered_dynamic`])
+//!   splits the input into many small fixed-boundary chunks that workers
+//!   claim from a shared atomic cursor as they finish previous ones.
 //! * **Ordered collection** — results come back in input order no matter
 //!   how the OS schedules the threads.
 //!
-//! Together these make `map_ordered(items, 1, f)` and
-//! `map_ordered(items, n, f)` produce *identical* output vectors whenever
+//! Together these make `map_ordered*(items, 1, f)` and
+//! `map_ordered*(items, n, f)` produce *identical* output vectors whenever
 //! `f` is a pure function of its item, which is exactly the property the
 //! reproducibility tests assert (see `tests/hermetic_determinism.rs` at
-//! the workspace root).
+//! the workspace root and `tests/dynamic_pool.rs` in this crate).
+//!
+//! ## Static vs dynamic
+//!
+//! The static path has zero coordination but poor load balance: with
+//! contiguous per-worker chunks, the slowest *chunk* bounds the wall
+//! clock, so one expensive region of the input strands every other core.
+//! The dynamic path trades one relaxed atomic `fetch_add` per chunk for
+//! greedy load balancing — a worker that drew a cheap chunk immediately
+//! claims the next unclaimed one — which is the classic list-scheduling
+//! bound: makespan ≤ (total work)/workers + max single item. *Which*
+//! worker computes an item becomes scheduler-dependent; *what* is
+//! computed and *where the result lands* do not, so byte-identity across
+//! worker counts is preserved for pure cell functions. Use the dynamic
+//! path whenever per-item runtimes are skewed (multi-tenant fleet
+//! devices, mixed-size experiment grids) and the static path when items
+//! are uniform and coordination must be zero.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolve a requested worker count: `0` means "size to the machine",
 /// and the result is clamped to `[1, items]` so no thread sits idle.
@@ -83,6 +102,101 @@ where
         .into_iter()
         .flat_map(|c| c.expect("every worker reports its chunk"))
         .collect()
+}
+
+/// The fixed chunk bounds `[start, end)` of chunk `index` when `items`
+/// items are split into chunks of `chunk` items each (the last chunk may
+/// be short). Purely arithmetic in `(items, chunk, index)` — the worker
+/// count never moves a boundary, which is what keeps the dynamic
+/// scheduler's output worker-count-independent even for impure cell
+/// functions that observe their chunk-mates.
+pub fn dynamic_chunk_bounds(items: usize, chunk: usize, index: usize) -> (usize, usize) {
+    let chunk = chunk.max(1);
+    let start = (index * chunk).min(items);
+    (start, (start + chunk).min(items))
+}
+
+/// Apply `f` to every item with *dynamic* chunk claiming: the input is
+/// split into fixed-boundary chunks of `chunk` items, workers claim the
+/// next unclaimed chunk from a shared atomic cursor, and results are
+/// collected in input order.
+///
+/// Identical output contract to [`map_ordered`] — for a pure `f`, any
+/// worker count produces the same vector, byte for byte — but with
+/// greedy load balancing: a worker finishing a cheap chunk immediately
+/// takes the next one, so skewed per-item runtimes no longer strand
+/// cores the way static contiguous partitioning does.
+///
+/// A panic in `f` propagates to the caller (other workers drain the
+/// remaining chunks first, exactly like the static path's join).
+pub fn map_ordered_dynamic_chunked<T, R, F>(
+    items: &[T],
+    workers: usize,
+    chunk: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    let workers = effective_workers(workers, items.len().div_ceil(chunk));
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let n_chunks = items.len().div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Vec<R>>> = (0..n_chunks).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let f = &f;
+            let cursor = &cursor;
+            handles.push(s.spawn(move || {
+                let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let (start, end) = dynamic_chunk_bounds(items.len(), chunk, c);
+                    mine.push((c, items[start..end].iter().map(f).collect()));
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(done) => {
+                    for (c, v) in done {
+                        debug_assert!(slots[c].is_none(), "chunk {c} claimed twice");
+                        slots[c] = Some(v);
+                    }
+                }
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|c| c.expect("every chunk claimed exactly once"))
+        .collect()
+}
+
+/// [`map_ordered_dynamic_chunked`] with single-item chunks — the right
+/// default when each item is expensive (a whole device replay, a whole
+/// experiment cell) and the atomic claim is noise by comparison.
+pub fn map_ordered_dynamic<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_ordered_dynamic_chunked(items, workers, 1, f)
 }
 
 /// Run `f(worker_index)` once on each of `workers` scoped threads and
@@ -167,6 +281,57 @@ mod tests {
         assert_eq!(effective_workers(8, 3), 3);
         assert_eq!(effective_workers(2, 100), 2);
         assert_eq!(effective_workers(4, 0), 1);
+    }
+
+    #[test]
+    fn dynamic_chunk_bounds_cover_exactly_once() {
+        for items in [0usize, 1, 2, 7, 64, 101] {
+            for chunk in [1usize, 2, 3, 16, 200] {
+                let n_chunks = items.div_ceil(chunk);
+                let mut expect_start = 0usize;
+                for c in 0..n_chunks {
+                    let (s, e) = dynamic_chunk_bounds(items, chunk, c);
+                    assert_eq!(s, expect_start, "gap at chunk {c}");
+                    assert!(e > s, "empty chunk {c} for items={items} chunk={chunk}");
+                    expect_start = e;
+                }
+                assert_eq!(expect_start, items, "items={items} chunk={chunk}");
+                // Out-of-range indices collapse to empty tail chunks.
+                let (s, e) = dynamic_chunk_bounds(items, chunk, n_chunks + 3);
+                assert_eq!((s, e), (items, items));
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_serial_for_any_worker_count_and_chunk() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 8, 300] {
+            for chunk in [1, 2, 7, 64, 500] {
+                let out = map_ordered_dynamic_chunked(&items, workers, chunk, |&x| x * 3 + 1);
+                assert_eq!(out, serial, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_empty_and_zero_workers() {
+        let out: Vec<u32> = map_ordered_dynamic(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+        let items = [1u32, 2, 3];
+        assert_eq!(map_ordered_dynamic(&items, 0, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom-dynamic")]
+    fn dynamic_worker_panic_propagates() {
+        map_ordered_dynamic(&[1u32, 2, 3, 4], 2, |&x| {
+            if x == 3 {
+                panic!("boom-dynamic");
+            }
+            x
+        });
     }
 
     #[test]

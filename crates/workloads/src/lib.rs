@@ -32,7 +32,10 @@ pub mod zipf;
 
 pub use analyze::TraceProfile;
 pub use files::{FileId, FileWorkloadBuilder};
-pub use mixer::{concat, inject_trims, interleave, retime_poisson, scale_rate, truncate};
+pub use mixer::{
+    concat, inject_trims, interleave, interleave_n, interleave_n_tagged, retime_poisson,
+    scale_rate, truncate,
+};
 pub use fiu::FiuWorkload;
 pub use parser::{parse_fiu, parse_native, write_native, ParseError};
 pub use synth::SynthConfig;

@@ -22,19 +22,65 @@ pub fn concat(a: &Trace, b: &Trace, gap_ns: u64) -> Trace {
 }
 
 /// Merge two traces on a shared timeline (multi-tenant): `b`'s LPNs are
-/// offset past `a`'s space so the tenants never collide.
+/// offset past `a`'s space so the tenants never collide. Wrapper over
+/// [`interleave_n`].
 pub fn interleave(a: &Trace, b: &Trace) -> Trace {
-    let lpn_offset = a.logical_pages;
-    let mut requests: Vec<Request> = a.requests.clone();
-    requests.extend(
-        b.requests.iter().map(|r| Request { lpn: r.lpn + lpn_offset, ..r.clone() }),
-    );
-    requests.sort_by_key(|r| r.at_ns);
-    Trace::new(
-        format!("{}||{}", a.name, b.name),
-        a.logical_pages + b.logical_pages,
-        requests,
-    )
+    interleave_n(&[a, b])
+}
+
+/// Merge `k` tenant traces onto a shared timeline in **one stable pass**:
+/// tenant `i`'s LPNs are offset past the combined space of tenants
+/// `0..i`, so no two tenants ever collide, and requests are merged by
+/// arrival time with ties broken by tenant order then FIFO within a
+/// tenant — exactly the order a pairwise [`interleave`] fold produces,
+/// without the fold's O(k²) re-clone-and-re-sort of ever-growing
+/// intermediates. Verified equivalent to the fold in this module's tests.
+///
+/// # Panics
+/// Panics on an empty tenant list.
+pub fn interleave_n(tenants: &[&Trace]) -> Trace {
+    interleave_n_tagged(tenants).0
+}
+
+/// [`interleave_n`] plus per-request tenant attribution: the second
+/// element tags each merged request with the index (into `tenants`) of
+/// the trace it came from. The fleet simulator uses the tags to account
+/// latency and traffic per tenant after the streams are merged.
+///
+/// # Panics
+/// Panics on an empty tenant list.
+pub fn interleave_n_tagged(tenants: &[&Trace]) -> (Trace, Vec<u32>) {
+    assert!(!tenants.is_empty(), "interleave_n needs at least one tenant");
+    // Namespace layout: tenant i owns [offsets[i], offsets[i] + pages_i).
+    let mut offsets = Vec::with_capacity(tenants.len());
+    let mut total_pages = 0u64;
+    for t in tenants {
+        offsets.push(total_pages);
+        total_pages += t.logical_pages;
+    }
+    let total_requests: usize = tenants.iter().map(|t| t.len()).sum();
+    let mut requests = Vec::with_capacity(total_requests);
+    let mut tags = Vec::with_capacity(total_requests);
+    // K-way merge: each tenant trace is already time-ordered, so a heap
+    // keyed (arrival, tenant index) yields the globally stable order.
+    let mut pos = vec![0usize; tenants.len()];
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = tenants
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.requests.is_empty())
+        .map(|(i, t)| std::cmp::Reverse((t.requests[0].at_ns, i)))
+        .collect();
+    while let Some(std::cmp::Reverse((_, i))) = heap.pop() {
+        let r = &tenants[i].requests[pos[i]];
+        requests.push(Request { lpn: r.lpn + offsets[i], ..r.clone() });
+        tags.push(i as u32);
+        pos[i] += 1;
+        if let Some(next) = tenants[i].requests.get(pos[i]) {
+            heap.push(std::cmp::Reverse((next.at_ns, i)));
+        }
+    }
+    let name = tenants.iter().map(|t| t.name.as_str()).collect::<Vec<_>>().join("||");
+    (Trace::new(name, total_pages, requests), tags)
 }
 
 /// Rescale arrival times by `factor` (2.0 = twice as slow, 0.5 = twice as
@@ -192,6 +238,88 @@ mod tests {
         let b_writes: Vec<&Request> =
             c.requests.iter().filter(|r| r.lpn >= 1_000).collect();
         assert_eq!(b_writes.len(), b.len());
+    }
+
+    #[test]
+    fn interleave_n_equals_pairwise_fold() {
+        // The contract the fleet relies on: one stable k-way pass is
+        // byte-identical to folding the pairwise operator.
+        let traces: Vec<Trace> = (1..=4).map(small).collect();
+        let refs: Vec<&Trace> = traces.iter().collect();
+        for k in 1..=traces.len() {
+            let folded = refs[1..k]
+                .iter()
+                .fold(traces[0].clone(), |acc, t| interleave(&acc, t));
+            let merged = interleave_n(&refs[..k]);
+            assert_eq!(merged.name, folded.name, "k={k}");
+            assert_eq!(merged.logical_pages, folded.logical_pages, "k={k}");
+            assert_eq!(merged.requests, folded.requests, "k={k}");
+            merged.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn interleave_n_handles_simultaneous_arrivals_stably() {
+        // All tenants fire at the same instants: ties must resolve in
+        // tenant order then FIFO, matching a stable pairwise sort.
+        let mk = |name: &str| {
+            Trace::new(
+                name,
+                16,
+                vec![
+                    Request::write(100, 0, vec![ContentId(1)]),
+                    Request::write(100, 1, vec![ContentId(2)]),
+                    Request::read(200, 0, 1),
+                ],
+            )
+        };
+        let (a, b, c) = (mk("a"), mk("b"), mk("c"));
+        let folded = interleave(&interleave(&a, &b), &c);
+        let merged = interleave_n(&[&a, &b, &c]);
+        assert_eq!(merged.requests, folded.requests);
+        // First three requests: the t=100 writes of a, a, then b.
+        assert_eq!(merged.requests[0].lpn, 0);
+        assert_eq!(merged.requests[1].lpn, 1);
+        assert_eq!(merged.requests[2].lpn, 16);
+    }
+
+    #[test]
+    fn interleave_n_tags_attribute_every_request() {
+        let traces: Vec<Trace> = (1..=3).map(small).collect();
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let (merged, tags) = interleave_n_tagged(&refs);
+        assert_eq!(tags.len(), merged.len());
+        // Per-tenant request counts survive the merge...
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(tags.iter().filter(|&&g| g == i as u32).count(), t.len());
+        }
+        // ...and each tagged request falls inside its tenant's namespace
+        // and matches that tenant's FIFO order.
+        let mut pos = vec![0usize; traces.len()];
+        let offsets = [0, traces[0].logical_pages, traces[0].logical_pages + traces[1].logical_pages];
+        for (r, &tag) in merged.requests.iter().zip(&tags) {
+            let i = tag as usize;
+            let orig = &traces[i].requests[pos[i]];
+            assert_eq!(r.lpn, orig.lpn + offsets[i]);
+            assert_eq!(r.at_ns, orig.at_ns);
+            assert_eq!(r.kind, orig.kind);
+            pos[i] += 1;
+        }
+    }
+
+    #[test]
+    fn interleave_n_single_tenant_is_identity() {
+        let a = small(5);
+        let merged = interleave_n(&[&a]);
+        assert_eq!(merged.name, a.name);
+        assert_eq!(merged.requests, a.requests);
+        assert_eq!(merged.logical_pages, a.logical_pages);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn interleave_n_rejects_empty_input() {
+        interleave_n(&[]);
     }
 
     #[test]

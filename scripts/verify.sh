@@ -49,6 +49,49 @@ cmp "$TRACE_TMP/qd1/sweep_qd.csv" "$TRACE_TMP/qd2/sweep_qd.csv" \
 cmp "$TRACE_TMP/qd1/gc_preempt_cdf.csv" "$TRACE_TMP/qd2/gc_preempt_cdf.csv" \
   || { echo "FAIL: same-seed gc_preempt_cdf.csv must be byte-identical"; exit 1; }
 
+echo "== smoke: fleet sweep (analytic WAF gate + worker-count byte-determinism) =="
+# The dynamic scheduler must be invisible in the output: one worker vs
+# machine parallelism, byte-identical CSVs (docs/FLEET.md).
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --scale quick --out "$TRACE_TMP/fleet1" --workers 1 sweep-fleet \
+  | grep "fleet WAF tracks analytic greedy curve"
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --scale quick --out "$TRACE_TMP/fleet2" --workers 0 sweep-fleet > /dev/null
+cmp "$TRACE_TMP/fleet1/sweep_fleet.csv" "$TRACE_TMP/fleet2/sweep_fleet.csv" \
+  || { echo "FAIL: sweep_fleet.csv must be byte-identical across worker counts"; exit 1; }
+cmp "$TRACE_TMP/fleet1/fleet_qos.csv" "$TRACE_TMP/fleet2/fleet_qos.csv" \
+  || { echo "FAIL: fleet_qos.csv must be byte-identical across worker counts"; exit 1; }
+
+echo "== perf: fleet fan-out bench vs committed baseline (docs/FLEET.md) =="
+# Same retry discipline as the hotpath gate below. The w1-vs-w8 speedup
+# floor is only meaningful with real cores behind the workers, so the
+# scaling clause is enforced on >= 8-core machines; smaller boxes still
+# gate the per-shape medians against the committed baseline.
+fleet_speedup_args=()
+if [ "$(nproc)" -ge 8 ]; then
+  fleet_speedup_args=(--speedup-ref "$TRACE_TMP/bench/BENCH_fleet.json"
+    --speedup-ref-name fleet/replay_w1
+    --speedup-bench fleet/replay_w8_dynamic --speedup-min 5.0)
+fi
+mkdir -p "$TRACE_TMP/bench"
+fleet_ok=0
+for attempt in 1 2 3; do
+  [ "$attempt" -gt 1 ] && echo "-- fleet perf gate attempt $attempt (previous attempt hit noise or a regression)"
+  rm -f crates/bench/BENCH_fleet.json
+  HARNESS_BENCH_FAST=1 cargo bench --offline -p cagc-bench --bench fleet
+  mv crates/bench/BENCH_fleet.json "$TRACE_TMP/bench/"
+  if cargo run --release --offline -p cagc-bench --bin bench_check -- \
+       results/BENCH_fleet.json "$TRACE_TMP/bench/BENCH_fleet.json" \
+       ${fleet_speedup_args[@]+"${fleet_speedup_args[@]}"}; then
+    fleet_ok=1
+    break
+  fi
+done
+if [ "$fleet_ok" -ne 1 ]; then
+  echo "FAIL: fleet bench regressed beyond tolerance in all 3 attempts (docs/FLEET.md)"
+  exit 1
+fi
+
 echo "== perf: hotpath bench vs committed baseline (docs/PERFORMANCE.md) =="
 # Smoke-budget run of the hot-path suite (HARNESS_BENCH_FAST trims the
 # sample count; medians stay comparable because per-iteration time is

@@ -51,6 +51,7 @@
 pub use cagc_core as core;
 pub use cagc_dedup as dedup;
 pub use cagc_flash as flash;
+pub use cagc_fleet as fleet;
 pub use cagc_ftl as ftl;
 pub use cagc_host as host;
 pub use cagc_metrics as metrics;
