@@ -54,6 +54,9 @@ fn skewed_fleet() -> FleetConfig {
         workers: 1,
         chunk: 1,
         host_queues: None,
+        faults: cagc_flash::FaultConfig::none(),
+        gc_preempt: false,
+        read_only_floor_blocks: None,
     }
 }
 

@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N]
-//!       [--trace PATH] [--trace-sample N] [--smoke] CMD...
+//!       [--trace PATH] [--trace-sample N] [--resilient] [--smoke] CMD...
 //!
 //! CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13
 //!      ablate-placement ablate-overlap ablate-threshold ablate-watermark
 //!      compare-inline sweep-utilization sweep-trim sweep-faults sweep-qd
-//!      sweep-fleet wear
+//!      sweep-fleet sweep-chaos wear
 //!      smoke      (one seeded GC-heavy CAGC replay; with --trace, emits
 //!                  a Chrome trace + JSONL event log — see docs/OBSERVABILITY.md)
 //!      all        (tables + every figure)
@@ -17,7 +17,9 @@
 //! Text results go to stdout; CSV series are written under `--out`
 //! (default `results/`). `--smoke` is shorthand for the `smoke` command;
 //! `--trace-sample N` records every Nth host request's spans (GC, fault
-//! and gauge activity is always recorded).
+//! and gauge activity is always recorded). `--resilient` arms the host
+//! retry/deadline policy in `sweep-qd` — on fault-free devices it must
+//! change nothing (the byte-identity gate `scripts/verify.sh` runs).
 
 use cagc_bench::experiments as exp;
 use cagc_bench::{Artifacts, Scale};
@@ -28,10 +30,11 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N]\n\
-         \x20            [--trace PATH] [--trace-sample N] [--smoke] CMD...\n\
+         \x20            [--trace PATH] [--trace-sample N] [--resilient] [--smoke] CMD...\n\
          CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13\n\
          \x20    ablate-placement ablate-overlap ablate-threshold ablate-watermark ablate-idle-gc\n\
-         \x20    compare-inline sweep-utilization sweep-trim sweep-faults sweep-qd sweep-fleet wear\n\
+         \x20    compare-inline sweep-utilization sweep-trim sweep-faults sweep-qd sweep-fleet\n\
+         \x20    sweep-chaos wear\n\
          \x20    smoke | all | ablations"
     );
     std::process::exit(2);
@@ -80,9 +83,11 @@ fn main() {
     let mut cmds: Vec<String> = Vec::new();
     let mut trace_out: Option<PathBuf> = None;
     let mut trace_sample: u64 = 1;
+    let mut resilient = false;
 
     while let Some(a) = args.pop_front() {
         match a.as_str() {
+            "--resilient" => resilient = true,
             "--trace" => {
                 trace_out = Some(PathBuf::from(args.pop_front().unwrap_or_else(|| usage())))
             }
@@ -133,7 +138,7 @@ fn main() {
                     .map(String::from),
             ),
             "ablations" => expanded.extend(
-                ["ablate-placement", "ablate-overlap", "ablate-threshold", "ablate-watermark", "ablate-idle-gc", "compare-inline", "sweep-utilization", "sweep-trim", "sweep-faults", "sweep-qd", "sweep-fleet", "wear"]
+                ["ablate-placement", "ablate-overlap", "ablate-threshold", "ablate-watermark", "ablate-idle-gc", "compare-inline", "sweep-utilization", "sweep-trim", "sweep-faults", "sweep-qd", "sweep-fleet", "sweep-chaos", "wear"]
                     .map(String::from),
             ),
             _ => expanded.push(c),
@@ -187,8 +192,9 @@ fn main() {
             "sweep-utilization" => exp::sweep_utilization(&scale),
             "sweep-trim" => exp::sweep_trim(&scale),
             "sweep-faults" => exp::sweep_faults(&scale),
-            "sweep-qd" => exp::sweep_qd(&scale),
+            "sweep-qd" => exp::sweep_qd(&scale, resilient),
             "sweep-fleet" => exp::sweep_fleet(&scale),
+            "sweep-chaos" => exp::sweep_chaos(&scale),
             "wear" => exp::wear_study(&scale),
             other => {
                 eprintln!("unknown command `{other}`");

@@ -1046,7 +1046,7 @@ pub fn sweep_faults(scale: &Scale) -> Artifacts {
 /// asserted byte-identical (device-side report) to the sequential
 /// `t = process(at = t)` chain, so every other cell differs from the
 /// golden synchronous path only by what the queues add.
-pub fn sweep_qd(scale: &Scale) -> Artifacts {
+pub fn sweep_qd(scale: &Scale, resilient: bool) -> Artifacts {
     use cagc_core::Ssd;
     use cagc_harness::pool::map_ordered;
     use cagc_harness::ToJson;
@@ -1075,6 +1075,13 @@ pub fn sweep_qd(scale: &Scale) -> Artifacts {
         let mut host_cfg = HostConfig::passthrough();
         host_cfg.queue_depth = qd;
         host_cfg.gc_pump = preempt;
+        if resilient {
+            // Arm the full resilience policy (deadline well above the
+            // fault-free tail). On a fault-free device it must be
+            // invisible: verify.sh gates that this sweep's CSVs stay
+            // byte-identical with and without --resilient.
+            host_cfg = host_cfg.with_resilience(1_000_000_000, 3, 50_000, 10_000, scale.seed);
+        }
         let mut host = HostInterface::new(Ssd::new(device(preempt)), host_cfg);
         let report = host.replay_closed_loop(&trace);
         host.ssd().audit().expect("audit after sweep-qd cell");
@@ -1219,6 +1226,9 @@ pub fn sweep_fleet(scale: &Scale) -> Artifacts {
         workers: scale.workers,
         chunk: 1,
         host_queues: None,
+        faults: cagc_flash::FaultConfig::none(),
+        gc_preempt: false,
+        read_only_floor_blocks: None,
     };
 
     let mut text = String::from(
@@ -1320,4 +1330,152 @@ pub fn sweep_fleet(scale: &Scale) -> Artifacts {
             ("fleet_qos.csv".into(), qos_csv.expect("CAGC cell ran at the largest fleet size")),
         ],
     }
+}
+
+/// Extension — chaos campaign: fault intensity × scheme × GC preemption
+/// over fleets of deliberately tiny (32-block) devices whose read-only
+/// floor spans the whole device, so a single retired block degrades the
+/// cell and the remaining traffic drains as attributed failures.
+///
+/// Two asserted gates, printed for the CI log:
+///
+/// * **pay-as-you-go** — the zero-intensity column is byte-identical to
+///   the same fleet with [`cagc_flash::FaultConfig::none`]: an armed but
+///   silent fault plan must not perturb a single byte;
+/// * **degradation** — every harsh-intensity cell degrades at least one
+///   device and attributes its tenants' failed ops.
+///
+/// `sweep_chaos.csv` is byte-identical across worker counts (gated by
+/// `scripts/verify.sh` like the fleet sweep).
+pub fn sweep_chaos(scale: &Scale) -> Artifacts {
+    use cagc_fleet::{run_fleet, FleetConfig, TenantMix};
+    use cagc_harness::ToJson;
+
+    let quick = scale.requests <= 60_000;
+    let (devices, requests_per_tenant) = if quick { (4usize, 400usize) } else { (8, 800) };
+
+    // Micro device: GC churns within a few hundred requests, so erase
+    // failures land while the replay is still short (docs/FAULTS.md).
+    let flash = cagc_flash::UllConfig {
+        channels: 1,
+        dies_per_channel: 2,
+        planes_per_die: 1,
+        blocks_per_plane: 16,
+        pages_per_block: 8,
+        page_size: 4096,
+        op_ratio: 0.12,
+        gc_watermark: 0.20,
+        hash_ns: 14_000,
+        timing: cagc_flash::Timing::ull(),
+    };
+    let base = FleetConfig {
+        devices,
+        mixes: vec![TenantMix::balanced(), TenantMix::noisy_neighbor()],
+        scheme: Scheme::Cagc, // per cell
+        flash,
+        requests_per_tenant,
+        footprint_frac: 0.90,
+        seed: scale.seed,
+        seed_groups: 2,
+        workers: scale.workers,
+        chunk: 1,
+        host_queues: None,
+        faults: cagc_flash::FaultConfig::none(), // per cell
+        gc_preempt: false,                       // per cell
+        // The whole device: the first retirement trips read-only, long
+        // before repeated erase failures can bleed the GC reserve dry.
+        read_only_floor_blocks: Some(flash.geometry().total_blocks()),
+    };
+
+    // Erase-failure probability is the intensity axis; correctable ECC
+    // noise and the unrecoverable escalation ride along at fixed rates.
+    let intensities: [(&str, f64); 3] = [("none", 0.0), ("mild", 0.0005), ("harsh", 0.01)];
+    let cell = |intensity: f64, scheme: Scheme, gc_preempt: bool| FleetConfig {
+        scheme,
+        gc_preempt,
+        faults: cagc_flash::FaultConfig {
+            erase_fail_prob: intensity,
+            read_ecc_prob: if intensity > 0.0 { 0.02 } else { 0.0 },
+            unrecoverable_prob: if intensity > 0.0 { 0.3 } else { 0.0 },
+            seed: scale.seed.wrapping_add(0xC4A0),
+            ..cagc_flash::FaultConfig::none()
+        },
+        ..base.clone()
+    };
+
+    let mut text = String::from(
+        "Extension — chaos campaign (fault intensity x scheme x GC preemption)\n\
+         (micro-device fleets; read-only floor = whole device, so the first\n\
+         \x20retired block degrades the cell and drains its tenants)\n\n",
+    );
+    let mut csv = String::from(
+        "intensity,erase_fail_prob,scheme,preempt,devices,degraded_devices,\
+         surviving_devices,failed_ops,first_degradation_ns,fleet_waf,survivor_waf,\
+         total_erases\n",
+    );
+    let mut tab = Table::new(vec![
+        "Intensity", "Scheme", "Preempt", "Degraded", "Failed ops", "WAF", "Survivor WAF",
+    ]);
+    let mut harsh_all_degrade = true;
+    for &(label, p) in &intensities {
+        for scheme in Scheme::ALL {
+            for preempt in [false, true] {
+                let rep = run_fleet(&cell(p, scheme, preempt));
+                if label == "none" {
+                    // Pay-as-you-go: an armed-but-silent plan (zero
+                    // probabilities, nonzero seed) must not perturb a
+                    // single byte vs. a fault-free fleet.
+                    let clean = run_fleet(&FleetConfig {
+                        scheme,
+                        gc_preempt: preempt,
+                        ..base.clone()
+                    });
+                    assert_eq!(
+                        rep.to_json().render(),
+                        clean.to_json().render(),
+                        "zero-intensity chaos cell must match the fault-free fleet"
+                    );
+                    assert_eq!(rep.degraded_devices, 0);
+                    assert_eq!(rep.failed_ops, 0);
+                }
+                if label == "harsh" && rep.degraded_devices == 0 {
+                    harsh_all_degrade = false;
+                }
+                let survivors = rep.fleet.runs - rep.degraded_devices;
+                let survivor_waf =
+                    if survivors > 0 { rep.survivor_totals.waf() } else { f64::NAN };
+                tab.row(vec![
+                    label.to_string(),
+                    scheme.name().to_string(),
+                    if preempt { "on" } else { "off" }.to_string(),
+                    format!("{}/{}", rep.degraded_devices, rep.fleet.runs),
+                    rep.failed_ops.to_string(),
+                    format!("{:.4}", rep.waf()),
+                    format!("{survivor_waf:.4}"),
+                ]);
+                csv.push_str(&format!(
+                    "{label},{p},{},{preempt},{},{},{survivors},{},{},{:.4},{survivor_waf:.4},{}\n",
+                    scheme.name(),
+                    rep.fleet.runs,
+                    rep.degraded_devices,
+                    rep.failed_ops,
+                    rep.first_degradation_ns.unwrap_or(0),
+                    rep.waf(),
+                    rep.fleet.total_erases,
+                ));
+            }
+        }
+    }
+    assert!(
+        harsh_all_degrade,
+        "every harsh-intensity cell must degrade at least one device"
+    );
+    text.push_str(&tab.render());
+    text.push_str(
+        "\nchaos gate OK: zero-fault cells byte-identical to the fault-free fleet,\n\
+         every harsh cell degrades at least one device with tenant attribution.\n\
+         Degraded cells reject writes as write-protected (NVMe 0x120) while\n\
+         surviving devices keep serving; see docs/FAULTS.md.\n",
+    );
+    Artifacts { text, csv: vec![("sweep_chaos.csv".into(), csv)] }
 }

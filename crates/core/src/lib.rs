@@ -38,8 +38,8 @@ pub mod ssd;
 pub use config::{Scheme, SsdConfig};
 pub use parallel::{run_cell, run_cells};
 pub use recovery::RecoveryReport;
-pub use report::{FaultReport, LatencySummary, RunReport, TrafficTotals};
-pub use ssd::Ssd;
+pub use report::{FaultReport, HealthLog, LatencySummary, RunReport, TrafficTotals};
+pub use ssd::{CmdStatus, Completion, Ssd};
 
 // Tracing entry points, re-exported so callers enabling tracing on an
 // [`Ssd`] don't need a direct cagc-trace dependency.

@@ -39,9 +39,15 @@ pub struct FaultReport {
     pub forced_programs: u64,
     /// Re-reads the FTL issued after ECC errors.
     pub read_retries: u64,
-    /// Heroic soft-decodes after the re-read budget ran out (data always
-    /// recovered; only time is lost).
+    /// Heroic soft-decodes after the re-read budget ran out (the data is
+    /// recovered unless the decode itself fails — see `media_read_errors`).
     pub ecc_decodes: u64,
+    /// Host reads that failed unrecoverably (heroic decode failed too);
+    /// the host saw a media-read-error completion.
+    pub media_read_errors: u64,
+    /// Host writes that failed unrecoverably (forced program failed too);
+    /// the host saw a write-fault completion.
+    pub write_faults: u64,
     /// Writes refused in read-only degradation.
     pub writes_rejected: u64,
     /// Trims refused in read-only degradation.
@@ -72,9 +78,71 @@ impl ToJson for FaultReport {
             ("forced_programs", Json::U64(self.forced_programs)),
             ("read_retries", Json::U64(self.read_retries)),
             ("ecc_decodes", Json::U64(self.ecc_decodes)),
+            ("media_read_errors", Json::U64(self.media_read_errors)),
+            ("write_faults", Json::U64(self.write_faults)),
             ("writes_rejected", Json::U64(self.writes_rejected)),
             ("trims_rejected", Json::U64(self.trims_rejected)),
             ("recoveries", Json::U64(self.recoveries)),
+        ])
+    }
+}
+
+/// SMART-style device health snapshot ([`crate::Ssd::health`]): the
+/// rollup a monitoring plane would poll. Cheap enough to sample into the
+/// gauge registry on fault-armed traced runs (it sorts per-block erase
+/// counts for the wear percentiles, O(blocks log blocks)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthLog {
+    /// Injected media errors the device reported (program + erase + read
+    /// ECC failures, per attempt).
+    pub media_errors: u64,
+    /// Host-visible unrecoverable errors (media-read-error + write-fault
+    /// completions).
+    pub unrecoverable_errors: u64,
+    /// Blocks retired to the bad-block table.
+    pub retired_blocks: u32,
+    /// Remaining spare pool, per-mille: usable blocks above the
+    /// (GC reserve + read-only floor) relative to the device's initial
+    /// headroom. 1000 = pristine, 0 = at the read-only threshold.
+    pub spare_pool_permille: u64,
+    /// Median per-block erase count.
+    pub wear_p50: u32,
+    /// 90th-percentile per-block erase count.
+    pub wear_p90: u32,
+    /// Worst per-block erase count.
+    pub wear_max: u32,
+    /// Whether the device has degraded to read-only.
+    pub read_only: bool,
+}
+
+impl HealthLog {
+    /// One-line human rendering ("SMART" row).
+    pub fn render(&self) -> String {
+        format!(
+            "media_errors={} unrecoverable={} retired={} spare={:.1}% wear p50/p90/max={}/{}/{} read_only={}",
+            self.media_errors,
+            self.unrecoverable_errors,
+            self.retired_blocks,
+            self.spare_pool_permille as f64 / 10.0,
+            self.wear_p50,
+            self.wear_p90,
+            self.wear_max,
+            self.read_only,
+        )
+    }
+}
+
+impl ToJson for HealthLog {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("media_errors", Json::U64(self.media_errors)),
+            ("unrecoverable_errors", Json::U64(self.unrecoverable_errors)),
+            ("retired_blocks", Json::U64(u64::from(self.retired_blocks))),
+            ("spare_pool_permille", Json::U64(self.spare_pool_permille)),
+            ("wear_p50", Json::U64(u64::from(self.wear_p50))),
+            ("wear_p90", Json::U64(u64::from(self.wear_p90))),
+            ("wear_max", Json::U64(u64::from(self.wear_max))),
+            ("read_only", Json::Bool(self.read_only)),
         ])
     }
 }
@@ -324,6 +392,7 @@ impl RunReport {
             out.push_str(&format!(
                 "\n\x20 faults   : crashed={} read_only={}, {} program fails ({} retries, {} forced), \
                  {} erase fails ({} blocks retired), {} ECC errors ({} re-reads, {} decodes), \
+                 {} media-read + {} write-fault errors, \
                  {} writes + {} trims rejected, {} journal records",
                 f.crashed,
                 f.read_only,
@@ -335,6 +404,8 @@ impl RunReport {
                 f.read_ecc_errors,
                 f.read_retries,
                 f.ecc_decodes,
+                f.media_read_errors,
+                f.write_faults,
                 f.writes_rejected,
                 f.trims_rejected,
                 f.journal_appends,

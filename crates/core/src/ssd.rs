@@ -31,7 +31,75 @@ use cagc_workloads::{OpKind, Request, Trace};
 
 use crate::config::{Scheme, SsdConfig};
 use crate::recovery::RecoveryReport;
-use crate::report::{FaultReport, LatencySummary, RunReport};
+use crate::report::{FaultReport, HealthLog, LatencySummary, RunReport};
+
+/// NVMe-style completion status for one host command.
+///
+/// Fault-free runs only ever see [`CmdStatus::Success`]; the error
+/// variants require injected faults (and, for the unrecoverable pair,
+/// [`cagc_flash::FaultConfig::unrecoverable_prob`] > 0) or read-only
+/// degradation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CmdStatus {
+    /// The command completed successfully.
+    #[default]
+    Success,
+    /// A read failed unrecoverably: re-reads and the heroic decode all
+    /// failed (NVMe "Unrecovered Read Error", media error 0x281).
+    MediaReadError,
+    /// A write failed unrecoverably: retries and the forced program all
+    /// failed (NVMe "Write Fault", media error 0x280).
+    WriteFault,
+    /// A write or trim was refused because bad-block retirement degraded
+    /// the namespace to read-only (NVMe "Namespace is Write Protected",
+    /// command-specific 0x20).
+    WriteProtected,
+}
+
+impl CmdStatus {
+    /// Whether the command succeeded.
+    #[inline]
+    pub fn is_ok(self) -> bool {
+        self == CmdStatus::Success
+    }
+
+    /// Whether a host retry could plausibly succeed. Write-protection is
+    /// persistent (the spare pool is gone), so retrying it is futile;
+    /// media errors are worth another attempt.
+    #[inline]
+    pub fn is_retryable(self) -> bool {
+        matches!(self, CmdStatus::MediaReadError | CmdStatus::WriteFault)
+    }
+
+    /// The NVMe status code this models (status-code-type << 8 | code).
+    pub fn nvme_code(self) -> u16 {
+        match self {
+            CmdStatus::Success => 0x000,
+            CmdStatus::MediaReadError => 0x281,
+            CmdStatus::WriteFault => 0x280,
+            CmdStatus::WriteProtected => 0x120,
+        }
+    }
+
+    /// Short stable name for reports and CSVs.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmdStatus::Success => "success",
+            CmdStatus::MediaReadError => "media_read_error",
+            CmdStatus::WriteFault => "write_fault",
+            CmdStatus::WriteProtected => "write_protected",
+        }
+    }
+}
+
+/// One host command's completion: when it finished and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Simulated completion time.
+    pub end_ns: Nanos,
+    /// NVMe-style status the CQ entry carries.
+    pub status: CmdStatus,
+}
 
 /// Sentinel for "no content recorded" in the per-PPN content table.
 pub(crate) const NO_CONTENT: u64 = u64::MAX;
@@ -83,6 +151,12 @@ pub(crate) struct FaultHandling {
     pub read_retries: u64,
     /// Heroic soft-decodes after the re-read budget ran out.
     pub ecc_decodes: u64,
+    /// Host reads whose heroic decode also failed (media-read-error
+    /// completions).
+    pub media_read_errors: u64,
+    /// Host writes whose forced program also failed (write-fault
+    /// completions).
+    pub write_faults: u64,
     /// Writes refused because the device degraded to read-only.
     pub writes_rejected: u64,
     /// Trims refused because the device degraded to read-only.
@@ -291,6 +365,22 @@ impl Ssd {
     /// # Errors
     /// Only [`FlashError::PowerLoss`] is ever returned.
     pub fn process_checked(&mut self, req: &Request) -> Result<Nanos, FlashError> {
+        self.process_status(req).map(|c| c.end_ns)
+    }
+
+    /// [`Ssd::process_checked`] that also reports the command's NVMe-style
+    /// completion status. Error completions (media read error, write
+    /// fault, write protected) are *completions*: they are timed, recorded
+    /// in the latency histograms and counted like any other finished
+    /// command — the status is how layers above (host interface, fleet)
+    /// learn the data never moved. Fault-free runs always complete
+    /// [`CmdStatus::Success`], and this path is byte-identical to
+    /// [`Ssd::process`] there.
+    ///
+    /// # Errors
+    /// Only [`FlashError::PowerLoss`] is ever returned (the request was
+    /// torn, not completed).
+    pub fn process_status(&mut self, req: &Request) -> Result<Completion, FlashError> {
         if self.dev.is_crashed() {
             return Err(FlashError::PowerLoss);
         }
@@ -302,53 +392,19 @@ impl Ssd {
             self.tctx = TraceCtx::Host;
         }
         self.maybe_idle_gc(at)?;
-        let completion = match req.kind {
-            OpKind::Read => {
-                let mut done = at;
-                for lpn in req.lpns() {
-                    done = done.max(self.read_page(lpn, at)?);
-                }
-                done
+        let (completion, status) = match self.execute_request(req, at) {
+            Ok(done) => done,
+            Err(FlashError::Unrecoverable { at: failed_at }) => {
+                // A last-resort recovery failed on the host path: the
+                // command completes with an error status at the point the
+                // final attempt gave up.
+                let status = match req.kind {
+                    OpKind::Read => CmdStatus::MediaReadError,
+                    OpKind::Write | OpKind::Trim => CmdStatus::WriteFault,
+                };
+                (failed_at, status)
             }
-            OpKind::Write if self.is_read_only() => {
-                // Spare blocks exhausted: the device has degraded to
-                // read-only and the controller fails the write fast.
-                self.fh.writes_rejected += 1;
-                at + self.cfg.read_miss_ns
-            }
-            OpKind::Write => {
-                // Check the watermark once per request. GC reserves die
-                // time; this write then contends with it on the timelines
-                // (it does not wait for the whole round — space exists as
-                // soon as maybe_gc returns).
-                self.maybe_gc(at)?;
-                self.host_pages_written += req.pages as u64;
-                // Pages of one request are processed in order by the FTL
-                // datapath: page i+1 starts when page i completes. (For
-                // Baseline/CAGC this matches the per-die serialization of
-                // the shared frontier; for Inline-Dedupe it puts every
-                // page's hash+lookup on the request's critical path.)
-                let mut ready = at;
-                for (i, lpn) in req.lpns().enumerate() {
-                    ready = self.write_page(lpn, req.contents[i], ready)?;
-                }
-                ready
-            }
-            OpKind::Trim if self.is_read_only() => {
-                self.fh.trims_rejected += 1;
-                at + self.cfg.trim_ns
-            }
-            OpKind::Trim => {
-                self.trims += 1;
-                if self.cfg.honor_trim {
-                    for lpn in req.lpns() {
-                        self.release_lpn_as(lpn, at, ReleaseCause::Trim)?;
-                    }
-                }
-                // Metadata-only: the mapping tables are updated but no die
-                // is touched, so the cost is a flat controller charge.
-                at + self.cfg.trim_ns
-            }
+            Err(e) => return Err(e),
         };
         if sampled {
             self.tctx = TraceCtx::Off;
@@ -380,7 +436,69 @@ impl Ssd {
         }
         self.end_ns = self.end_ns.max(completion);
         self.acknowledged += 1;
-        Ok(completion)
+        Ok(Completion { end_ns: completion, status })
+    }
+
+    /// The per-kind request body: returns the completion time and status,
+    /// or propagates [`FlashError::Unrecoverable`] / power loss for
+    /// [`Ssd::process_status`] to translate.
+    fn execute_request(
+        &mut self,
+        req: &Request,
+        at: Nanos,
+    ) -> Result<(Nanos, CmdStatus), FlashError> {
+        let mut status = CmdStatus::Success;
+        let completion = match req.kind {
+            OpKind::Read => {
+                let mut done = at;
+                for lpn in req.lpns() {
+                    done = done.max(self.read_page(lpn, at)?);
+                }
+                done
+            }
+            OpKind::Write if self.is_read_only() => {
+                // Spare blocks exhausted: the device has degraded to
+                // read-only and the controller fails the write fast.
+                self.fh.writes_rejected += 1;
+                status = CmdStatus::WriteProtected;
+                at + self.cfg.read_miss_ns
+            }
+            OpKind::Write => {
+                // Check the watermark once per request. GC reserves die
+                // time; this write then contends with it on the timelines
+                // (it does not wait for the whole round — space exists as
+                // soon as maybe_gc returns).
+                self.maybe_gc(at)?;
+                self.host_pages_written += req.pages as u64;
+                // Pages of one request are processed in order by the FTL
+                // datapath: page i+1 starts when page i completes. (For
+                // Baseline/CAGC this matches the per-die serialization of
+                // the shared frontier; for Inline-Dedupe it puts every
+                // page's hash+lookup on the request's critical path.)
+                let mut ready = at;
+                for (i, lpn) in req.lpns().enumerate() {
+                    ready = self.write_page(lpn, req.contents[i], ready)?;
+                }
+                ready
+            }
+            OpKind::Trim if self.is_read_only() => {
+                self.fh.trims_rejected += 1;
+                status = CmdStatus::WriteProtected;
+                at + self.cfg.trim_ns
+            }
+            OpKind::Trim => {
+                self.trims += 1;
+                if self.cfg.honor_trim {
+                    for lpn in req.lpns() {
+                        self.release_lpn_as(lpn, at, ReleaseCause::Trim)?;
+                    }
+                }
+                // Metadata-only: the mapping tables are updated but no die
+                // is touched, so the cost is a flat controller charge.
+                at + self.cfg.trim_ns
+            }
+        };
+        Ok((completion, status))
     }
 
     /// Whether bad-block retirement has degraded the device to read-only:
@@ -414,9 +532,48 @@ impl Ssd {
             forced_programs: self.fh.forced_programs,
             read_retries: self.fh.read_retries,
             ecc_decodes: self.fh.ecc_decodes,
+            media_read_errors: self.fh.media_read_errors,
+            write_faults: self.fh.write_faults,
             writes_rejected: self.fh.writes_rejected,
             trims_rejected: self.fh.trims_rejected,
             recoveries: self.fh.recoveries,
+        }
+    }
+
+    /// SMART-style health snapshot: media errors, retired blocks, spare
+    /// pool headroom, wear percentiles and the read-only flag — what a
+    /// monitoring plane polls to decide a device is degrading. Sampled
+    /// into the gauge registry on fault-armed traced runs (see
+    /// `sample_gauges`).
+    pub fn health(&self) -> HealthLog {
+        let d = self.dev.stats();
+        let mut wear: Vec<u32> =
+            (0..self.dev.block_count()).map(|b| self.dev.block(b).erase_count()).collect();
+        wear.sort_unstable();
+        let pick = |q: f64| -> u32 {
+            if wear.is_empty() {
+                return 0;
+            }
+            let idx = ((wear.len() - 1) as f64 * q).round() as usize;
+            wear[idx.min(wear.len() - 1)]
+        };
+        // Spare headroom above the point is_read_only() trips: usable
+        // blocks beyond (GC reserve + read-only floor), scaled against the
+        // pristine device's headroom.
+        let floor = self.alloc.gc_reserve() + self.cfg.read_only_floor_blocks;
+        let total = self.dev.block_count() as u64;
+        let usable = u64::from(self.alloc.usable_blocks());
+        let spare_now = usable.saturating_sub(u64::from(floor));
+        let spare_pristine = total.saturating_sub(u64::from(floor)).max(1);
+        HealthLog {
+            media_errors: d.program_failures + d.erase_failures + d.read_ecc_errors,
+            unrecoverable_errors: self.fh.media_read_errors + self.fh.write_faults,
+            retired_blocks: self.alloc.retired_count(),
+            spare_pool_permille: spare_now * 1000 / spare_pristine,
+            wear_p50: pick(0.50),
+            wear_p90: pick(0.90),
+            wear_max: wear.last().copied().unwrap_or(0),
+            read_only: self.is_read_only(),
         }
     }
 
@@ -512,6 +669,17 @@ impl Ssd {
             self.tracer.gauge("dedup_hit_rate_milli", now, rate);
         }
         self.tracer.gauge("retired_blocks", now, u64::from(self.alloc.retired_count()));
+        // SMART-style health gauges: only on fault-armed runs, so
+        // fault-free traced output stays byte-identical to pre-health
+        // recordings (pay-as-you-go, like the journal).
+        if self.dev.faults_active() {
+            let h = self.health();
+            self.tracer.gauge("health_media_errors", now, h.media_errors);
+            self.tracer.gauge("health_unrecoverable", now, h.unrecoverable_errors);
+            self.tracer.gauge("health_spare_permille", now, h.spare_pool_permille);
+            self.tracer.gauge("health_wear_p90", now, u64::from(h.wear_p90));
+            self.tracer.gauge("health_read_only", now, u64::from(h.read_only));
+        }
     }
 
     /// Emit a die-track span for a completed flash operation, named by the
@@ -540,7 +708,25 @@ impl Ssd {
 
     fn read_page(&mut self, lpn: Lpn, ready: Nanos) -> Result<Nanos, FlashError> {
         match self.map.get(lpn) {
-            Some(ppn) => self.read_flash(ppn, ready),
+            Some(ppn) => {
+                // Detect whether this host read had to fall back to the
+                // heroic decode (the FTL's last resort). Only then can the
+                // read fail unrecoverably — and only host reads roll; GC
+                // migration reads bypass this wrapper entirely.
+                let decodes_before = self.fh.ecc_decodes;
+                let end = self.read_flash(ppn, ready)?;
+                if self.fh.ecc_decodes > decodes_before && self.dev.roll_unrecoverable() {
+                    self.fh.media_read_errors += 1;
+                    self.tracer.instant(
+                        Track::Fault,
+                        "media_read_error",
+                        end,
+                        &[("lpn", lpn), ("ppn", ppn)],
+                    );
+                    return Err(FlashError::Unrecoverable { at: end });
+                }
+                Ok(end)
+            }
             None => {
                 self.read_misses += 1;
                 Ok(ready + self.cfg.read_miss_ns)
@@ -722,6 +908,15 @@ impl Ssd {
             if let Some(block) = self.alloc.alloc_page(region, false) {
                 return Ok(block);
             }
+            if self.is_read_only() {
+                // Bad-block retirement crossed the read-only floor while
+                // this write was already past its own read-only check:
+                // forcing more GC can only bleed the reserve dry. Fail
+                // the write as a write-fault completion instead.
+                self.fh.write_faults += 1;
+                self.tracer.instant(Track::Fault, "write_fault", ready, &[("read_only", 1)]);
+                return Err(FlashError::Unrecoverable { at: ready });
+            }
             let freed_from = self.alloc.free_blocks();
             self.force_gc_inner(ready)?;
             attempts += 1;
@@ -752,6 +947,21 @@ impl Ssd {
         loop {
             let block = self.alloc_block(region, for_gc, ready)?;
             let forced = retries >= self.cfg.max_program_retries;
+            // The forced program is the write path's last resort. On the
+            // host path it may fail unrecoverably (write-fault completion);
+            // the GC path never rolls — migration failures are absorbed
+            // below and never become host-visible errors. The roll happens
+            // before the attempt: old data and the mapping stay intact.
+            if forced && !for_gc && self.dev.roll_unrecoverable() {
+                self.fh.write_faults += 1;
+                self.tracer.instant(
+                    Track::Fault,
+                    "write_fault",
+                    ready,
+                    &[("retries", retries as u64)],
+                );
+                return Err(FlashError::Unrecoverable { at: ready });
+            }
             let res = if forced {
                 self.dev.program_next_forced(block, ready, oob)
             } else {

@@ -8,7 +8,7 @@
 //! never lost, across all three schemes, no matter where inside a GC
 //! round the crash lands.
 
-use cagc_core::{Scheme, Ssd, SsdConfig};
+use cagc_core::{CmdStatus, Scheme, Ssd, SsdConfig};
 use cagc_dedup::ContentId;
 use cagc_flash::{FaultConfig, FlashError, Timing, UllConfig};
 use cagc_harness::prop::*;
@@ -414,6 +414,99 @@ fn erase_failures_retire_blocks_and_degrade_to_read_only() {
     at += 4_000;
     assert!(ssd.process_checked(&Request::read(at, 0, 1)).unwrap() > at);
     ssd.audit().unwrap();
+}
+
+#[test]
+fn unrecoverable_read_completes_with_media_error_status() {
+    // Three scheduled ECC failures force the heroic decode; with
+    // unrecoverable_prob = 1.0 the decode itself fails and the read
+    // completes with a media-read-error status instead of panicking. The
+    // stored data is untouched and a later (clean) read still serves it.
+    let cfg = schedule_config(
+        Scheme::Baseline,
+        FaultConfig {
+            fail_read_ops: vec![0, 1, 2],
+            unrecoverable_prob: 1.0,
+            ..FaultConfig::none()
+        },
+    );
+    let mut ssd = Ssd::new(cfg);
+    ssd.process_checked(&Request::write(1_000, 5, vec![ContentId(3)])).unwrap();
+    let comp = ssd.process_status(&Request::read(100_000, 5, 1)).unwrap();
+    assert_eq!(comp.status, CmdStatus::MediaReadError);
+    assert!(!comp.status.is_ok() && comp.status.is_retryable());
+    assert_eq!(comp.status.nvme_code(), 0x281, "NVMe 'unrecovered read error'");
+    let fr = ssd.fault_report();
+    assert_eq!(fr.media_read_errors, 1);
+    assert_eq!(fr.ecc_decodes, 1);
+
+    // Ordinal 3 is clean: a host-level retry of the same LPN succeeds.
+    let retry = ssd.process_status(&Request::read(200_000, 5, 1)).unwrap();
+    assert_eq!(retry.status, CmdStatus::Success);
+    assert_eq!(ssd.stored_content(5), Some(ContentId(3)));
+    ssd.audit().unwrap();
+}
+
+#[test]
+fn unrecoverable_forced_program_completes_with_write_fault() {
+    // Four scheduled program failures exhaust the retries; with
+    // unrecoverable_prob = 1.0 the forced last resort fails for good
+    // (before touching flash) and the write completes with a write-fault
+    // status. The mapping must not bind — old data semantics hold.
+    let cfg = schedule_config(
+        Scheme::Baseline,
+        FaultConfig {
+            fail_program_ops: vec![0, 1, 2, 3],
+            unrecoverable_prob: 1.0,
+            ..FaultConfig::none()
+        },
+    );
+    let mut ssd = Ssd::new(cfg);
+    let comp = ssd.process_status(&Request::write(1_000, 0, vec![ContentId(9)])).unwrap();
+    assert_eq!(comp.status, CmdStatus::WriteFault);
+    assert_eq!(comp.status.nvme_code(), 0x280, "NVMe 'write fault'");
+    let fr = ssd.fault_report();
+    assert_eq!(fr.write_faults, 1);
+    assert_eq!(fr.program_retries, 4);
+    assert_eq!(fr.forced_programs, 0, "the forced attempt never ran");
+    assert_eq!(ssd.stored_content(0), None, "failed write must not bind a mapping");
+
+    // Program ordinal 4 is clean: a host-level rewrite succeeds.
+    let retry = ssd.process_status(&Request::write(2_000_000, 0, vec![ContentId(9)])).unwrap();
+    assert_eq!(retry.status, CmdStatus::Success);
+    assert_eq!(ssd.stored_content(0), Some(ContentId(9)));
+    ssd.audit().unwrap();
+}
+
+#[test]
+fn health_log_tracks_degradation() {
+    let mut cfg = schedule_config(
+        Scheme::Baseline,
+        FaultConfig { erase_fail_prob: 1.0, seed: 11, ..FaultConfig::none() },
+    );
+    cfg.read_only_floor_blocks = cfg.flash.geometry().total_blocks();
+    let mut ssd = Ssd::new(cfg);
+    let pristine = ssd.health();
+    assert_eq!(pristine.retired_blocks, 0);
+    assert!(!pristine.read_only);
+    assert!(pristine.spare_pool_permille <= 1000);
+
+    let mut at = 0;
+    for i in 0..4_000u64 {
+        at += 4_000;
+        ssd.process_checked(&Request::write(at, i % 120, vec![ContentId(1 + i)])).unwrap();
+        if ssd.fault_report().blocks_retired > 0 {
+            break;
+        }
+    }
+    let h = ssd.health();
+    assert!(h.retired_blocks >= 1, "GC never failed an erase");
+    assert!(h.read_only, "retirement past the floor must flip read-only");
+    assert!(h.media_errors >= u64::from(h.retired_blocks));
+    assert_eq!(h.unrecoverable_errors, 0, "no unrecoverable faults were armed");
+    assert!(h.wear_p50 <= h.wear_p90 && h.wear_p90 <= h.wear_max);
+    assert!(h.spare_pool_permille <= pristine.spare_pool_permille);
+    assert!(!h.render().is_empty());
 }
 
 #[test]

@@ -221,6 +221,15 @@ impl FlashDevice {
         self.plan.is_active()
     }
 
+    /// Roll whether a *last-resort* recovery action (heroic ECC decode,
+    /// forced program) fails unrecoverably. The FTL calls this on the host
+    /// path only; GC migrations never surface host-visible errors. Draws
+    /// from the plan's dedicated `"unrecoverable"` stream (see
+    /// [`FaultConfig::unrecoverable_prob`](crate::FaultConfig::unrecoverable_prob)).
+    pub fn roll_unrecoverable(&mut self) -> bool {
+        self.plan.roll_unrecoverable()
+    }
+
     /// Power the device back on after a crash: cells, OOB, journal and
     /// bad-block table are intact (they are the durable state); the latch
     /// clears and the consumed crash point will not fire again. The FTL

@@ -100,6 +100,16 @@ pub enum FlashError {
         /// When the failed attempt completed on the die.
         at: Nanos,
     },
+    /// Injected failure of a *last-resort* recovery action (the heroic
+    /// ECC decode after re-reads, the forced program after retries): the
+    /// FTL has nothing left to try and the host sees an NVMe-style error
+    /// completion. Raised by the FTL from
+    /// [`FaultPlan::roll_unrecoverable`]; the device itself never returns
+    /// it.
+    Unrecoverable {
+        /// When the failed recovery attempt completed.
+        at: Nanos,
+    },
     /// Power was lost: the device is down until
     /// [`crate::FlashDevice::power_cycle`]; every operation fails with
     /// this error and nothing more becomes durable.
@@ -115,6 +125,7 @@ impl FlashError {
             FlashError::ProgramFailed { .. }
                 | FlashError::EraseFailed { .. }
                 | FlashError::ReadEcc { .. }
+                | FlashError::Unrecoverable { .. }
                 | FlashError::PowerLoss
         )
     }
@@ -140,6 +151,9 @@ impl std::fmt::Display for FlashError {
             FlashError::ReadEcc { ppn, at } => {
                 write!(f, "injected read ECC error at ppn {ppn} (t={at})")
             }
+            FlashError::Unrecoverable { at } => {
+                write!(f, "injected unrecoverable recovery failure (t={at})")
+            }
             FlashError::PowerLoss => write!(f, "power loss"),
         }
     }
@@ -157,6 +171,15 @@ pub struct FaultConfig {
     pub erase_fail_prob: f64,
     /// Probability that any single read attempt returns an ECC error.
     pub read_ecc_prob: f64,
+    /// Probability that a *last-resort* recovery action fails: the heroic
+    /// ECC decode a host read falls back to after exhausting re-reads, or
+    /// the forced program a host write falls back to after exhausting
+    /// retries. When it fires the FTL has nothing left to try and the
+    /// host sees an NVMe-style error completion (media read error /
+    /// write fault) instead of a latency. Drawn from its own PRNG stream
+    /// (`"unrecoverable"`), so enabling it never perturbs the
+    /// program/erase/read fault sequence of an existing seed.
+    pub unrecoverable_prob: f64,
     /// Erase count past which wear-out sets in (0 disables wear-out).
     pub endurance_limit: u32,
     /// Additional erase-failure probability per erase beyond
@@ -191,6 +214,7 @@ impl FaultConfig {
         self.program_fail_prob > 0.0
             || self.erase_fail_prob > 0.0
             || self.read_ecc_prob > 0.0
+            || self.unrecoverable_prob > 0.0
             || (self.endurance_limit > 0 && self.wearout_slope > 0.0)
             || self.crash_at_op.is_some()
             || !self.fail_program_ops.is_empty()
@@ -204,6 +228,7 @@ impl FaultConfig {
             ("program_fail_prob", self.program_fail_prob),
             ("erase_fail_prob", self.erase_fail_prob),
             ("read_ecc_prob", self.read_ecc_prob),
+            ("unrecoverable_prob", self.unrecoverable_prob),
             ("wearout_slope", self.wearout_slope),
         ] {
             if !(0.0..=1.0).contains(&p) {
@@ -221,6 +246,10 @@ pub struct FaultPlan {
     cfg: FaultConfig,
     active: bool,
     rng: SimRng,
+    // Separate stream for unrecoverable-recovery rolls: the main
+    // `"fault-plan"` stream's draw sequence must not shift when
+    // `unrecoverable_prob` is enabled on an existing seed.
+    unrecoverable_rng: SimRng,
     programs_seen: u64,
     erases_seen: u64,
     reads_seen: u64,
@@ -237,6 +266,7 @@ impl FaultPlan {
         let active = cfg.is_active();
         Self {
             rng: SimRng::for_stream(cfg.seed, "fault-plan"),
+            unrecoverable_rng: SimRng::for_stream(cfg.seed, "unrecoverable"),
             fail_program_ops: cfg.fail_program_ops.iter().copied().collect(),
             fail_erase_ops: cfg.fail_erase_ops.iter().copied().collect(),
             fail_read_ops: cfg.fail_read_ops.iter().copied().collect(),
@@ -330,6 +360,18 @@ impl FaultPlan {
         self.reads_seen += 1;
         let drawn = self.rng.gen_bool(self.cfg.read_ecc_prob);
         self.fail_read_ops.contains(&ordinal) || drawn
+    }
+
+    /// Should a *last-resort* recovery action (heroic ECC decode, forced
+    /// program) fail, surfacing an unrecoverable error to the host? Draws
+    /// from the dedicated `"unrecoverable"` stream only — the main fault
+    /// stream's sequence is untouched, so existing fault runs stay
+    /// byte-identical when this knob is zero.
+    pub fn roll_unrecoverable(&mut self) -> bool {
+        if !self.active || self.cfg.unrecoverable_prob <= 0.0 {
+            return false;
+        }
+        self.unrecoverable_rng.gen_bool(self.cfg.unrecoverable_prob)
     }
 }
 
@@ -466,6 +508,43 @@ mod tests {
         assert!(!plan.crashed());
         // The crash point is consumed: durable ops flow again.
         assert!(plan.note_durable_op().is_ok());
+    }
+
+    #[test]
+    fn unrecoverable_rolls_use_their_own_stream() {
+        // Same seed, same probability rolls on the main stream, with and
+        // without the unrecoverable knob: the main stream must not shift.
+        let base = FaultConfig { program_fail_prob: 0.3, seed: 42, ..FaultConfig::none() };
+        let with = FaultConfig { unrecoverable_prob: 0.5, ..base.clone() };
+        let mut a = FaultPlan::new(base);
+        let mut b = FaultPlan::new(with);
+        let xs: Vec<bool> = (0..256).map(|_| a.roll_program()).collect();
+        let ys: Vec<bool> = (0..256)
+            .map(|_| {
+                let _ = b.roll_unrecoverable(); // interleave draws
+                b.roll_program()
+            })
+            .collect();
+        assert_eq!(xs, ys, "unrecoverable rolls must not perturb the main stream");
+    }
+
+    #[test]
+    fn unrecoverable_prob_activates_and_rolls_deterministically() {
+        let off = FaultConfig::none();
+        assert!(!FaultPlan::new(off).roll_unrecoverable());
+        let cfg = FaultConfig { unrecoverable_prob: 1.0, seed: 9, ..FaultConfig::none() };
+        assert!(cfg.is_active());
+        cfg.validate().unwrap();
+        let mut plan = FaultPlan::new(cfg.clone());
+        assert!(plan.roll_unrecoverable(), "prob 1.0 must always fire");
+        let mut a = FaultPlan::new(FaultConfig { unrecoverable_prob: 0.4, ..cfg.clone() });
+        let mut b = FaultPlan::new(FaultConfig { unrecoverable_prob: 0.4, ..cfg });
+        let xs: Vec<bool> = (0..128).map(|_| a.roll_unrecoverable()).collect();
+        let ys: Vec<bool> = (0..128).map(|_| b.roll_unrecoverable()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().any(|&x| x) && xs.iter().any(|&x| !x));
+        let bad = FaultConfig { unrecoverable_prob: 2.0, ..FaultConfig::none() };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -19,8 +19,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use cagc_core::{RunReport, Scheme, Ssd, SsdConfig, TrafficTotals};
-use cagc_flash::UllConfig;
+use cagc_core::{CmdStatus, RunReport, Scheme, Ssd, SsdConfig, TrafficTotals};
+use cagc_flash::{FaultConfig, UllConfig};
 use cagc_harness::{Json, ToJson};
 use cagc_host::{HostConfig, HostInterface};
 use cagc_metrics::Histogram;
@@ -54,6 +54,19 @@ pub struct DeviceSpec {
     /// `Some((queue_pairs, queue_depth))` replays through the NVMe-style
     /// host interface; `None` feeds the FTL directly.
     pub host_queues: Option<(u32, u32)>,
+    /// Fault-injection plan for this device ([`FaultConfig::none`] for a
+    /// fault-free cell). Faulty cells keep running: error completions are
+    /// attributed to the issuing tenant, and a device that degrades to
+    /// read-only fails its remaining write traffic instead of aborting
+    /// the fleet.
+    pub faults: FaultConfig,
+    /// Run the device with preemptible (sliced) GC.
+    pub gc_preempt: bool,
+    /// Override for [`cagc_core::SsdConfig::read_only_floor_blocks`]
+    /// (`None` keeps the device default). Raising the floor makes the
+    /// read-only trip wire sensitive to the first few retirements —
+    /// chaos campaigns use it to reach degradation in bounded work.
+    pub read_only_floor_blocks: Option<u32>,
 }
 
 /// Per-tenant accounting for one device.
@@ -73,6 +86,11 @@ pub struct TenantReport {
     /// direct mode, host end-to-end time in host mode). Kept as a full
     /// histogram so the fleet layer can merge across devices exactly.
     pub hist: Histogram,
+    /// Requests that completed with an error status (media read error,
+    /// write fault, write protected) or were dropped by a device failure
+    /// — the tenant's share of the device's degradation. Zero on
+    /// fault-free runs.
+    pub failed_ops: u64,
 }
 
 impl TenantReport {
@@ -84,14 +102,19 @@ impl TenantReport {
 
 impl ToJson for TenantReport {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&'static str, Json)> = vec![
             ("tenant", Json::Str(self.tenant.clone())),
             ("requests", Json::U64(self.requests)),
             ("pages_written", Json::U64(self.pages_written)),
             ("pages_read", Json::U64(self.pages_read)),
             ("trims", Json::U64(self.trims)),
-            ("lat", self.lat().to_json()),
-        ])
+        ];
+        // Pay-as-you-go: only degraded runs carry the key.
+        if self.failed_ops > 0 {
+            fields.push(("failed_ops", Json::U64(self.failed_ops)));
+        }
+        fields.push(("lat", self.lat().to_json()));
+        Json::obj(fields)
     }
 }
 
@@ -114,6 +137,16 @@ pub struct DeviceReport {
     /// Sim time of the first bad-block retirement, if any (lifetime
     /// proxy; `None` on fault-free runs).
     pub first_retirement_ns: Option<Nanos>,
+    /// Whether the device ended the run degraded to read-only (spare
+    /// pool exhausted by bad-block retirement).
+    pub read_only: bool,
+    /// Sim time of the first write-protected completion — the moment the
+    /// read-only degradation became visible to a tenant. `None` if the
+    /// device never degraded (or degraded after its last write).
+    pub degraded_at_ns: Option<Nanos>,
+    /// Requests across all tenants that completed with an error status
+    /// or were dropped by a device failure.
+    pub failed_ops: u64,
     /// Sim time when the device finished its replay.
     pub end_ns: Nanos,
     /// Per-tenant accounting, in namespace order.
@@ -131,9 +164,15 @@ impl DeviceReport {
         self.totals.dedup_hit_rate()
     }
 
-    fn from_run(spec: &DeviceSpec, run: &RunReport, tenants: Vec<TenantReport>) -> Self {
+    fn from_run(
+        spec: &DeviceSpec,
+        run: &RunReport,
+        tenants: Vec<TenantReport>,
+        degraded_at_ns: Option<Nanos>,
+    ) -> Self {
         let mut totals = TrafficTotals::default();
         totals.add(run);
+        let failed_ops = tenants.iter().map(|t| t.failed_ops).sum();
         Self {
             device: spec.id,
             mix: spec.mix_name.clone(),
@@ -142,6 +181,9 @@ impl DeviceReport {
             lat: run.all.clone(),
             erases: run.total_erases,
             first_retirement_ns: run.first_retirement_ns,
+            read_only: run.faults.read_only,
+            degraded_at_ns,
+            failed_ops,
             end_ns: run.end_ns,
             tenants,
         }
@@ -161,10 +203,20 @@ impl ToJson for DeviceReport {
             ("lat", self.lat.to_json()),
             ("end_ns", Json::U64(self.end_ns)),
         ]);
-        // Same pay-as-you-go gating as RunReport: retirements only exist
-        // under fault injection, so fault-free fleets omit the key.
+        // Same pay-as-you-go gating as RunReport: retirements and
+        // degradation only exist under fault injection, so fault-free
+        // fleets omit the keys.
         if let Some(ns) = self.first_retirement_ns {
             fields.push(("first_retirement_ns", Json::U64(ns)));
+        }
+        if self.read_only {
+            fields.push(("read_only", Json::Bool(true)));
+        }
+        if let Some(ns) = self.degraded_at_ns {
+            fields.push(("degraded_at_ns", Json::U64(ns)));
+        }
+        if self.failed_ops > 0 {
+            fields.push(("failed_ops", Json::U64(self.failed_ops)));
         }
         fields.push(("tenants", Json::Arr(self.tenants.iter().map(|t| t.to_json()).collect())));
         Json::obj(fields)
@@ -181,6 +233,7 @@ fn tenant_traffic(label: &str, trace: &Trace) -> TenantReport {
         pages_read: 0,
         trims: 0,
         hist: Histogram::new(),
+        failed_ops: 0,
     };
     for r in &trace.requests {
         match r.kind {
@@ -200,7 +253,12 @@ fn tenant_traffic(label: &str, trace: &Trace) -> TenantReport {
 /// logical space.
 pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
     let total_pages: u64 = spec.tenants.iter().map(|t| t.trace.logical_pages).sum();
-    let cfg = SsdConfig::paper(spec.flash, spec.scheme);
+    let mut cfg = SsdConfig::paper(spec.flash, spec.scheme);
+    cfg.faults = spec.faults.clone();
+    cfg.gc_preempt = spec.gc_preempt;
+    if let Some(floor) = spec.read_only_floor_blocks {
+        cfg.read_only_floor_blocks = floor;
+    }
     let ssd = Ssd::new(cfg);
     assert!(
         total_pages <= ssd.logical_pages(),
@@ -213,8 +271,8 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
 
     match spec.host_queues {
         None => {
-            let run = replay_direct(ssd, spec, &mut tenants);
-            DeviceReport::from_run(spec, &run, tenants)
+            let (run, degraded_at) = replay_direct(ssd, spec, &mut tenants);
+            DeviceReport::from_run(spec, &run, tenants, degraded_at)
         }
         Some((pairs, depth)) => {
             // Materialize the merged trace transiently (only while this
@@ -225,18 +283,38 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
             let (merged, tags) = mixer::interleave_n_tagged(&refs);
             let mut host = HostInterface::new(ssd, HostConfig::nvme(pairs, depth));
             let (hreport, lats) = host.replay_open_loop_detailed(&merged);
+            let mut degraded_at = None;
             for (cmd, &tag) in lats.iter().zip(&tags) {
                 tenants[tag as usize].hist.record(cmd.latency_ns());
+                if !cmd.status.is_ok() {
+                    tenants[tag as usize].failed_ops += 1;
+                    if cmd.status == CmdStatus::WriteProtected {
+                        // lats is in trace order, not completion order:
+                        // take the earliest write-protected completion.
+                        degraded_at =
+                            Some(degraded_at.map_or(cmd.reaped_ns, |d: Nanos| d.min(cmd.reaped_ns)));
+                    }
+                }
             }
-            DeviceReport::from_run(spec, &hreport.device, tenants)
+            DeviceReport::from_run(spec, &hreport.device, tenants, degraded_at)
         }
     }
 }
 
-/// Direct-mode replay: stream the k-way merge straight into the FTL,
-/// recording per-tenant device service latency. Mirrors
-/// `mixer::interleave_n_tagged` order without materializing anything.
-fn replay_direct(mut ssd: Ssd, spec: &DeviceSpec, tenants: &mut [TenantReport]) -> RunReport {
+/// Direct-mode replay: stream the k-way merge straight into the FTL on
+/// the checked status path, recording per-tenant device service latency
+/// and attributing error completions to the issuing tenant. Returns the
+/// run report plus the first write-protected completion time (the moment
+/// read-only degradation became tenant-visible).
+///
+/// A power loss mid-replay does not panic: the torn request and every
+/// request the dead device can no longer serve are attributed to their
+/// tenants as failed ops, and the device reports what it completed.
+fn replay_direct(
+    mut ssd: Ssd,
+    spec: &DeviceSpec,
+    tenants: &mut [TenantReport],
+) -> (RunReport, Option<Nanos>) {
     // Namespace layout identical to interleave_n: tenant i owns
     // [offsets[i], offsets[i] + pages_i).
     let mut offsets = Vec::with_capacity(spec.tenants.len());
@@ -253,6 +331,7 @@ fn replay_direct(mut ssd: Ssd, spec: &DeviceSpec, tenants: &mut [TenantReport]) 
             heap.push(Reverse((r.at_ns, i)));
         }
     }
+    let mut degraded_at: Option<Nanos> = None;
     while let Some(Reverse((_, i))) = heap.pop() {
         let trace = &spec.tenants[i].trace;
         let r = &trace.requests[pos[i]];
@@ -261,10 +340,30 @@ fn replay_direct(mut ssd: Ssd, spec: &DeviceSpec, tenants: &mut [TenantReport]) 
             heap.push(Reverse((next.at_ns, i)));
         }
         let req = Request { lpn: r.lpn + offsets[i], ..r.clone() };
-        let done = ssd.process(&req);
-        tenants[i].hist.record(done.saturating_sub(req.at_ns));
+        match ssd.process_status(&req) {
+            Ok(c) => {
+                tenants[i].hist.record(c.end_ns.saturating_sub(req.at_ns));
+                if !c.status.is_ok() {
+                    tenants[i].failed_ops += 1;
+                    if c.status == CmdStatus::WriteProtected {
+                        degraded_at = Some(degraded_at.map_or(c.end_ns, |d| d.min(c.end_ns)));
+                    }
+                }
+            }
+            Err(_) => {
+                // Power lost mid-request: the device is dead for the rest
+                // of this replay. Fail the torn request and everything
+                // still queued, attributed tenant by tenant, instead of
+                // panicking the whole fleet.
+                tenants[i].failed_ops += 1;
+                for (j, t) in spec.tenants.iter().enumerate() {
+                    tenants[j].failed_ops += (t.trace.requests.len() - pos[j]) as u64;
+                }
+                break;
+            }
+        }
     }
-    ssd.report(&spec.mix_name)
+    (ssd.report(&spec.mix_name), degraded_at)
 }
 
 #[cfg(test)]
@@ -292,7 +391,95 @@ mod tests {
                 },
             ],
             host_queues,
+            faults: FaultConfig::none(),
+            gc_preempt: false,
+            read_only_floor_blocks: None,
         }
+    }
+
+    /// A deliberately tiny device (32 blocks x 8 pages) whose tenants
+    /// overwrite their footprint several times over — GC churns hard, so
+    /// injected erase failures retire blocks within a few hundred
+    /// requests.
+    fn micro_spec(host_queues: Option<(u32, u32)>) -> DeviceSpec {
+        let flash = UllConfig {
+            channels: 1,
+            dies_per_channel: 2,
+            planes_per_die: 1,
+            blocks_per_plane: 16,
+            pages_per_block: 8,
+            page_size: 4096,
+            op_ratio: 0.12,
+            gc_watermark: 0.20,
+            hash_ns: 14_000,
+            timing: cagc_flash::Timing::ull(),
+        };
+        let mut lib = crate::library::TraceLibrary::new();
+        let pages = (flash.logical_pages() as f64 * 0.9 / 2.0) as u64;
+        DeviceSpec {
+            id: 9,
+            mix_name: "chaos-mix".into(),
+            scheme: Scheme::Cagc,
+            flash,
+            tenants: vec![
+                TenantTrace {
+                    label: "Mail[0]".into(),
+                    trace: lib.get(FiuWorkload::Mail, pages, 500, 21, 1.0),
+                },
+                TenantTrace {
+                    label: "Homes[1]".into(),
+                    trace: lib.get(FiuWorkload::Homes, pages, 500, 21, 1.0),
+                },
+            ],
+            host_queues,
+            faults: FaultConfig {
+                erase_fail_prob: 0.5,
+                read_ecc_prob: 0.02,
+                unrecoverable_prob: 0.3,
+                seed: 99,
+                ..FaultConfig::none()
+            },
+            gc_preempt: false,
+            // Floor = the whole 32-block device: the first retirement
+            // trips read-only, long before erase failures can bleed the
+            // GC reserve dry.
+            read_only_floor_blocks: Some(32),
+        }
+    }
+
+    #[test]
+    fn faulty_cell_degrades_to_read_only_with_attribution() {
+        let rep = simulate_device(&micro_spec(None));
+        assert!(rep.read_only, "erase failures past the floor must degrade to read-only");
+        assert!(rep.first_retirement_ns.is_some(), "a failed erase retires its block");
+        assert!(rep.failed_ops > 0, "post-degradation writes must fail with attribution");
+        assert_eq!(
+            rep.failed_ops,
+            rep.tenants.iter().map(|t| t.failed_ops).sum::<u64>(),
+            "device failed-op count is the sum of its tenants'"
+        );
+        // A write-protected rejection completes relative to its arrival
+        // time, which may predate the retirement's device-internal
+        // timestamp — so only bound degradation by the run itself.
+        let degraded = rep.degraded_at_ns.expect("degradation must be tenant-visible");
+        assert!(degraded > 0 && degraded <= rep.end_ns);
+        let j = rep.to_json().render();
+        assert!(j.contains("\"read_only\":true"));
+        assert!(j.contains("degraded_at_ns") && j.contains("failed_ops"));
+        // Faulty cells stay pure functions of their spec.
+        let again = simulate_device(&micro_spec(None));
+        assert_eq!(again.to_json().render(), j, "faulty cell must be deterministic");
+    }
+
+    #[test]
+    fn faulty_host_mode_attributes_errors() {
+        let rep = simulate_device(&micro_spec(Some((2, 8))));
+        assert!(rep.failed_ops > 0, "host-mode error completions must be attributed");
+        assert_eq!(
+            rep.failed_ops,
+            rep.tenants.iter().map(|t| t.failed_ops).sum::<u64>()
+        );
+        assert!(rep.to_json().render().contains("failed_ops"));
     }
 
     #[test]
@@ -304,8 +491,13 @@ mod tests {
         assert_eq!(per_tenant, issued, "every merged request is attributed to a tenant");
         assert!(rep.waf() > 0.0);
         assert!(rep.end_ns > 0);
-        assert_eq!(rep.first_retirement_ns, None, "fault-free run never retires a block");
-        assert!(!rep.to_json().render().contains("first_retirement_ns"));
+        // Pay-as-you-go: a fault-free cell carries no fault/degradation
+        // keys at all (faulty cells are first-class, not asserted away).
+        assert_eq!(rep.failed_ops, 0);
+        let j = rep.to_json().render();
+        for key in ["first_retirement_ns", "read_only", "degraded_at_ns", "failed_ops"] {
+            assert!(!j.contains(key), "fault-free cell leaked key {key}");
+        }
     }
 
     #[test]

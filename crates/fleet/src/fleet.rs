@@ -2,7 +2,7 @@
 //! aggregate the results.
 
 use cagc_core::Scheme;
-use cagc_flash::UllConfig;
+use cagc_flash::{FaultConfig, UllConfig};
 use cagc_harness::pool::map_ordered_dynamic_chunked;
 
 use crate::device::{simulate_device, DeviceSpec, TenantTrace};
@@ -43,6 +43,17 @@ pub struct FleetConfig {
     /// the NVMe-style host interface (host-observed tenant latency);
     /// `None` feeds FTLs directly.
     pub host_queues: Option<(u32, u32)>,
+    /// Fault-plan template applied to every device; each device gets its
+    /// own plan seed derived from the template seed and the device index,
+    /// so faults land independently across the fleet. An inactive
+    /// template ([`FaultConfig::none`]) keeps every cell byte-identical
+    /// to a fault-free fleet.
+    pub faults: FaultConfig,
+    /// Run every device with preemptible (sliced) GC.
+    pub gc_preempt: bool,
+    /// Per-device read-only floor override (`None` keeps the device
+    /// default); see [`DeviceSpec::read_only_floor_blocks`].
+    pub read_only_floor_blocks: Option<u32>,
 }
 
 impl FleetConfig {
@@ -61,6 +72,9 @@ impl FleetConfig {
             workers: 1,
             chunk: 1,
             host_queues: None,
+            faults: FaultConfig::none(),
+            gc_preempt: false,
+            read_only_floor_blocks: None,
         }
     }
 }
@@ -95,6 +109,12 @@ fn build_specs(cfg: &FleetConfig, lib: &mut TraceLibrary) -> Vec<DeviceSpec> {
                     ),
                 })
                 .collect();
+            // Derive an independent fault-plan seed per device: the
+            // template decides *what* can fail, the device index decides
+            // *where* the dice land. Inactive templates draw nothing, so
+            // the derivation cannot perturb fault-free fleets.
+            let mut faults = cfg.faults.clone();
+            faults.seed = faults.seed.wrapping_add((d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             DeviceSpec {
                 id: d as u32,
                 mix_name: mix.name.to_string(),
@@ -102,6 +122,9 @@ fn build_specs(cfg: &FleetConfig, lib: &mut TraceLibrary) -> Vec<DeviceSpec> {
                 flash: cfg.flash,
                 tenants,
                 host_queues: cfg.host_queues,
+                faults,
+                gc_preempt: cfg.gc_preempt,
+                read_only_floor_blocks: cfg.read_only_floor_blocks,
             }
         })
         .collect()
@@ -113,11 +136,16 @@ fn build_specs(cfg: &FleetConfig, lib: &mut TraceLibrary) -> Vec<DeviceSpec> {
 /// rolled up. Output is byte-identical at every worker count.
 ///
 /// # Panics
-/// Panics on an empty fleet, empty mix list, or a footprint outside
-/// `(0, 1]`.
+/// Panics on an empty fleet, empty mix list, a footprint outside
+/// `(0, 1]`, or a zero-sized host queue shape — checked up front so a
+/// bad config fails here with a clear message, not inside a worker
+/// thread mid-fan-out.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     assert!(cfg.devices > 0, "empty fleet");
     assert!(!cfg.mixes.is_empty(), "no tenant mixes");
+    if let Some((pairs, depth)) = cfg.host_queues {
+        assert!(pairs > 0 && depth > 0, "host queue shape {pairs}x{depth} must be non-zero");
+    }
     assert!(
         cfg.footprint_frac > 0.0 && cfg.footprint_frac <= 1.0,
         "footprint fraction {} outside (0, 1]",
@@ -165,6 +193,82 @@ mod tests {
         let a = &specs_big[0].tenants[0].trace;
         let b = &specs_big[cfg.mixes.len() * cfg.seed_groups].tenants[0].trace;
         assert!(Arc::ptr_eq(a, b), "same (mix, group, slot) must share one Arc");
+    }
+
+    /// A chaos fleet on a deliberately tiny 32-block device: heavy erase
+    /// failures with the read-only floor spanning the whole device, so
+    /// the first retirement degrades a cell within a few hundred
+    /// requests.
+    fn chaos_test() -> FleetConfig {
+        FleetConfig {
+            devices: 4,
+            flash: UllConfig {
+                channels: 1,
+                dies_per_channel: 2,
+                planes_per_die: 1,
+                blocks_per_plane: 16,
+                pages_per_block: 8,
+                page_size: 4096,
+                op_ratio: 0.12,
+                gc_watermark: 0.20,
+                hash_ns: 14_000,
+                timing: cagc_flash::Timing::ull(),
+            },
+            requests_per_tenant: 400,
+            faults: FaultConfig {
+                // Tuned so the per-device derived seeds leave at least
+                // one device of the four fault-free (a survivor for the
+                // rollup assertions) while the rest degrade.
+                erase_fail_prob: 0.002,
+                read_ecc_prob: 0.02,
+                unrecoverable_prob: 0.3,
+                seed: 99,
+                ..FaultConfig::none()
+            },
+            read_only_floor_blocks: Some(32),
+            ..FleetConfig::small_test()
+        }
+    }
+
+    #[test]
+    fn faulty_fleet_degrades_gracefully_with_attribution() {
+        let rep = run_fleet(&chaos_test());
+        assert!(
+            rep.degraded_devices >= 1,
+            "chaos plan must degrade at least one device, got {}",
+            rep.degraded_devices
+        );
+        assert!(rep.degraded_devices < rep.devices.len() as u64, "some devices must survive");
+        assert!(rep.failed_ops > 0, "degraded devices must fail tenant ops");
+        assert_eq!(
+            rep.failed_ops,
+            rep.devices.iter().map(|d| d.failed_ops).sum::<u64>(),
+            "fleet failed-op count is the sum of its devices'"
+        );
+        assert!(rep.first_degradation_ns.is_some());
+        // Survivor rollups exclude read-only devices.
+        assert!(rep.survivor_totals.runs == rep.fleet.runs - rep.degraded_devices);
+        assert!(rep.survivor_totals.runs > 0);
+        assert!(rep.survivor_totals.host_pages_written < rep.fleet.host_pages_written);
+        // Degraded devices keep their tenant attribution.
+        let degraded = rep.devices.iter().find(|d| d.read_only).unwrap();
+        assert_eq!(
+            degraded.failed_ops,
+            degraded.tenants.iter().map(|t| t.failed_ops).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn faulty_fleet_is_byte_identical_across_worker_counts() {
+        use cagc_harness::ToJson;
+        let mut cfg = chaos_test();
+        let baseline = run_fleet(&cfg).to_json().render();
+        assert!(baseline.contains("degradation") || baseline.contains("degraded_devices"));
+        for workers in [2usize, 5] {
+            cfg.workers = workers;
+            let got = run_fleet(&cfg).to_json().render();
+            assert_eq!(got, baseline, "workers={workers} changed the chaos fleet report");
+        }
     }
 
     #[test]

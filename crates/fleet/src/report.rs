@@ -26,6 +26,8 @@ pub struct MixSummary {
     pub totals: TrafficTotals,
     /// Earliest first-retirement time across those devices, if any.
     pub earliest_retirement_ns: Option<Nanos>,
+    /// Devices of this mix that ended the run read-only.
+    pub degraded_devices: u64,
 }
 
 impl ToJson for MixSummary {
@@ -39,6 +41,9 @@ impl ToJson for MixSummary {
         ]);
         if let Some(ns) = self.earliest_retirement_ns {
             fields.push(("earliest_retirement_ns", Json::U64(ns)));
+        }
+        if self.degraded_devices > 0 {
+            fields.push(("degraded_devices", Json::U64(self.degraded_devices)));
         }
         Json::obj(fields)
     }
@@ -60,6 +65,9 @@ pub struct TenantSummary {
     pub pages_written: u64,
     /// Pages read across devices.
     pub pages_read: u64,
+    /// Requests that completed with an error status or were dropped by a
+    /// device failure, across devices (degradation attribution).
+    pub failed_ops: u64,
     /// Merged latency distribution across devices.
     pub hist: Histogram,
 }
@@ -73,15 +81,19 @@ impl TenantSummary {
 
 impl ToJson for TenantSummary {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&'static str, Json)> = vec![
             ("mix", Json::Str(self.mix.clone())),
             ("tenant", Json::Str(self.tenant.clone())),
             ("devices", Json::U64(self.devices)),
             ("requests", Json::U64(self.requests)),
             ("pages_written", Json::U64(self.pages_written)),
             ("pages_read", Json::U64(self.pages_read)),
-            ("lat", self.lat().to_json()),
-        ])
+        ];
+        if self.failed_ops > 0 {
+            fields.push(("failed_ops", Json::U64(self.failed_ops)));
+        }
+        fields.push(("lat", self.lat().to_json()));
+        Json::obj(fields)
     }
 }
 
@@ -103,6 +115,17 @@ pub struct FleetReport {
     /// Earliest first-retirement time across the fleet, if any device
     /// retired a block.
     pub earliest_retirement_ns: Option<Nanos>,
+    /// Devices that ended the run degraded to read-only.
+    pub degraded_devices: u64,
+    /// Earliest tenant-visible degradation (first write-protected
+    /// completion) across the fleet, if any device degraded.
+    pub first_degradation_ns: Option<Nanos>,
+    /// Requests across the fleet that completed with an error status or
+    /// were dropped by a device failure.
+    pub failed_ops: u64,
+    /// Summed traffic counters over the surviving (non-read-only)
+    /// devices — what capacity the fleet still has after degradation.
+    pub survivor_totals: TrafficTotals,
 }
 
 impl FleetReport {
@@ -114,12 +137,25 @@ impl FleetReport {
         let mut by_tenant: Vec<TenantSummary> = Vec::new();
         let mut retired_devices = 0u64;
         let mut earliest: Option<Nanos> = None;
+        let mut degraded_devices = 0u64;
+        let mut first_degradation: Option<Nanos> = None;
+        let mut failed_ops = 0u64;
+        let mut survivor_totals = TrafficTotals::default();
         for dev in &devices {
             merge_totals(&mut fleet, &dev.totals);
             if let Some(ns) = dev.first_retirement_ns {
                 retired_devices += 1;
                 earliest = Some(earliest.map_or(ns, |e: Nanos| e.min(ns)));
             }
+            if dev.read_only {
+                degraded_devices += 1;
+            } else {
+                merge_totals(&mut survivor_totals, &dev.totals);
+            }
+            if let Some(ns) = dev.degraded_at_ns {
+                first_degradation = Some(first_degradation.map_or(ns, |e: Nanos| e.min(ns)));
+            }
+            failed_ops += dev.failed_ops;
             let mix = match by_mix.iter_mut().find(|m| m.mix == dev.mix) {
                 Some(m) => m,
                 None => {
@@ -128,6 +164,7 @@ impl FleetReport {
                         devices: 0,
                         totals: TrafficTotals::default(),
                         earliest_retirement_ns: None,
+                        degraded_devices: 0,
                     });
                     by_mix.last_mut().unwrap()
                 }
@@ -137,6 +174,9 @@ impl FleetReport {
             if let Some(ns) = dev.first_retirement_ns {
                 mix.earliest_retirement_ns =
                     Some(mix.earliest_retirement_ns.map_or(ns, |e| e.min(ns)));
+            }
+            if dev.read_only {
+                mix.degraded_devices += 1;
             }
             for t in &dev.tenants {
                 let entry = match by_tenant
@@ -152,6 +192,7 @@ impl FleetReport {
                             requests: 0,
                             pages_written: 0,
                             pages_read: 0,
+                            failed_ops: 0,
                             hist: Histogram::new(),
                         });
                         by_tenant.last_mut().unwrap()
@@ -161,6 +202,7 @@ impl FleetReport {
                 entry.requests += t.requests;
                 entry.pages_written += t.pages_written;
                 entry.pages_read += t.pages_read;
+                entry.failed_ops += t.failed_ops;
                 entry.hist.merge(&t.hist);
             }
         }
@@ -172,6 +214,10 @@ impl FleetReport {
             distinct_traces,
             retired_devices,
             earliest_retirement_ns: earliest,
+            degraded_devices,
+            first_degradation_ns: first_degradation,
+            failed_ops,
+            survivor_totals,
         }
     }
 
@@ -253,6 +299,16 @@ impl FleetReport {
                 self.retired_devices
             ));
         }
+        if self.degraded_devices > 0 || self.failed_ops > 0 {
+            let surviving = self.devices.len() as u64 - self.degraded_devices;
+            out.push_str(&format!(
+                "\n\x20 degradation: {} devices read-only ({} surviving), {} failed ops",
+                self.degraded_devices, surviving, self.failed_ops
+            ));
+            if let Some(ns) = self.first_degradation_ns {
+                out.push_str(&format!(", first at {ns} ns"));
+            }
+        }
         for m in &self.by_mix {
             out.push_str(&format!(
                 "\n\x20 mix {:<16} {} devs  waf {:.4}  dedup {:.4}",
@@ -283,6 +339,20 @@ impl ToJson for FleetReport {
             if let Some(ns) = self.earliest_retirement_ns {
                 fields.push(("earliest_retirement_ns", Json::U64(ns)));
             }
+        }
+        // Degradation section: only fleets that actually degraded (or
+        // failed ops) pay for it.
+        if self.degraded_devices > 0 || self.failed_ops > 0 {
+            fields.push(("degraded_devices", Json::U64(self.degraded_devices)));
+            fields.push((
+                "surviving_devices",
+                Json::U64(self.devices.len() as u64 - self.degraded_devices),
+            ));
+            if let Some(ns) = self.first_degradation_ns {
+                fields.push(("first_degradation_ns", Json::U64(ns)));
+            }
+            fields.push(("failed_ops", Json::U64(self.failed_ops)));
+            fields.push(("survivor_totals", self.survivor_totals.to_json()));
         }
         fields
             .push(("per_device", Json::Arr(self.devices.iter().map(|d| d.to_json()).collect())));

@@ -1,7 +1,56 @@
 //! Host-interface configuration: queue shape, doorbell and interrupt
-//! behavior, per-command controller costs.
+//! behavior, per-command controller costs, and the resilience policy
+//! (deadlines, retries, backoff).
 
 use cagc_sim::time::Nanos;
+
+/// A structured, reportable reason a [`HostConfig`] is malformed.
+///
+/// Carried by [`HostConfig::validate`] and
+/// [`crate::HostInterface::try_new`] so callers (config loaders, sweep
+/// drivers) can surface the problem instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `queue_pairs == 0` — there is no queue to submit on.
+    ZeroQueuePairs,
+    /// `queue_depth == 0` — no command could ever occupy a slot.
+    ZeroQueueDepth,
+    /// `doorbell_batch == 0` — the doorbell would never ring.
+    ZeroDoorbellBatch,
+    /// `doorbell_batch > 1` without a flush timeout — a partial batch
+    /// would hang forever.
+    BatchWithoutFlush,
+    /// `coalesce_depth == 0` — the interrupt would never fire.
+    ZeroCoalesceDepth,
+    /// `coalesce_depth > 1` without a coalescing timeout — pending
+    /// completions would never be delivered.
+    CoalesceWithoutTimeout,
+    /// `max_retries > 0` without a retry backoff — the retry loop would
+    /// re-issue at the failure instant, busy-spinning simulated time.
+    RetryWithoutBackoff,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroQueuePairs => write!(f, "queue_pairs must be >= 1"),
+            ConfigError::ZeroQueueDepth => write!(f, "queue_depth must be >= 1"),
+            ConfigError::ZeroDoorbellBatch => write!(f, "doorbell_batch must be >= 1"),
+            ConfigError::BatchWithoutFlush => {
+                write!(f, "doorbell_batch > 1 needs a nonzero flush timeout")
+            }
+            ConfigError::ZeroCoalesceDepth => write!(f, "coalesce_depth must be >= 1"),
+            ConfigError::CoalesceWithoutTimeout => {
+                write!(f, "coalesce_depth > 1 needs a nonzero coalesce timeout")
+            }
+            ConfigError::RetryWithoutBackoff => {
+                write!(f, "max_retries > 0 needs a nonzero retry_backoff_ns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of the NVMe-style host interface.
 ///
@@ -9,6 +58,10 @@ use cagc_sim::time::Nanos;
 /// zero-overhead single-queue shape whose open-loop replay is byte-identical
 /// to [`cagc_core::Ssd::replay`], and [`HostConfig::nvme`] is a realistic
 /// multi-queue controller with doorbell batching and interrupt coalescing.
+/// Both ship with the resilience policy disabled; arm it with
+/// [`HostConfig::with_resilience`]. An armed policy on a fault-free device
+/// never fires (no retries, no PRNG draws, no extra events), so reports
+/// stay byte-identical to a run without it.
 #[derive(Debug, Clone)]
 pub struct HostConfig {
     /// Number of submission/completion queue pairs. Commands are assigned
@@ -43,6 +96,24 @@ pub struct HostConfig {
     /// work arrives. Requires `gc_preempt` on the device to have any
     /// effect.
     pub gc_pump: bool,
+    /// Per-command deadline from the moment the host wanted the I/O.
+    /// `0` disables it. Completions landing past the deadline count as
+    /// timeouts; a retry that would *start* past it is abandoned and the
+    /// command aborts with its last error status.
+    pub deadline_ns: Nanos,
+    /// How many times a retryable error completion (media read error,
+    /// write fault — never write-protection) is re-issued to the device.
+    /// `0` disables host retries: error completions surface immediately.
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per attempt
+    /// (exponential). Required nonzero when `max_retries > 0`.
+    pub retry_backoff_ns: Nanos,
+    /// Upper bound on the uniform jitter added to every backoff (`0` =
+    /// no jitter). Drawn from the seeded `"host-retry"` PRNG stream, so
+    /// retry schedules are deterministic per seed.
+    pub retry_jitter_ns: Nanos,
+    /// Seed for the retry-jitter PRNG stream.
+    pub retry_seed: u64,
 }
 
 impl HostConfig {
@@ -62,6 +133,11 @@ impl HostConfig {
             fetch_ns: 0,
             completion_ns: 0,
             gc_pump: false,
+            deadline_ns: 0,
+            max_retries: 0,
+            retry_backoff_ns: 0,
+            retry_jitter_ns: 0,
+            retry_seed: 0,
         }
     }
 
@@ -78,28 +154,61 @@ impl HostConfig {
             fetch_ns: 200,
             completion_ns: 300,
             gc_pump: true,
+            deadline_ns: 0,
+            max_retries: 0,
+            retry_backoff_ns: 0,
+            retry_jitter_ns: 0,
+            retry_seed: 0,
         }
     }
 
+    /// Arm the resilience policy on top of any shape: per-command
+    /// `deadline_ns` (0 keeps it disabled), up to `max_retries` re-issues
+    /// of retryable error completions with exponential backoff from
+    /// `retry_backoff_ns` plus uniform jitter in `[0, retry_jitter_ns)`
+    /// drawn from the seeded `"host-retry"` stream.
+    pub fn with_resilience(
+        mut self,
+        deadline_ns: Nanos,
+        max_retries: u32,
+        retry_backoff_ns: Nanos,
+        retry_jitter_ns: Nanos,
+        retry_seed: u64,
+    ) -> Self {
+        self.deadline_ns = deadline_ns;
+        self.max_retries = max_retries;
+        self.retry_backoff_ns = retry_backoff_ns;
+        self.retry_jitter_ns = retry_jitter_ns;
+        self.retry_seed = retry_seed;
+        self
+    }
+
     /// Sanity-check the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// # Errors
+    /// Returns the first [`ConfigError`] found; `Ok(())` means the shape
+    /// is runnable.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.queue_pairs == 0 {
-            return Err("queue_pairs must be >= 1".into());
+            return Err(ConfigError::ZeroQueuePairs);
         }
         if self.queue_depth == 0 {
-            return Err("queue_depth must be >= 1".into());
+            return Err(ConfigError::ZeroQueueDepth);
         }
         if self.doorbell_batch == 0 {
-            return Err("doorbell_batch must be >= 1".into());
+            return Err(ConfigError::ZeroDoorbellBatch);
         }
         if self.doorbell_batch > 1 && self.doorbell_flush_ns == 0 {
-            return Err("doorbell_batch > 1 needs a nonzero flush timeout".into());
+            return Err(ConfigError::BatchWithoutFlush);
         }
         if self.coalesce_depth == 0 {
-            return Err("coalesce_depth must be >= 1".into());
+            return Err(ConfigError::ZeroCoalesceDepth);
         }
         if self.coalesce_depth > 1 && self.coalesce_ns == 0 {
-            return Err("coalesce_depth > 1 needs a nonzero coalesce timeout".into());
+            return Err(ConfigError::CoalesceWithoutTimeout);
+        }
+        if self.max_retries > 0 && self.retry_backoff_ns == 0 {
+            return Err(ConfigError::RetryWithoutBackoff);
         }
         Ok(())
     }
@@ -113,24 +222,39 @@ mod tests {
     fn presets_validate() {
         HostConfig::passthrough().validate().unwrap();
         HostConfig::nvme(4, 32).validate().unwrap();
+        HostConfig::nvme(4, 32)
+            .with_resilience(10_000_000, 3, 50_000, 10_000, 7)
+            .validate()
+            .unwrap();
     }
 
     #[test]
     fn degenerate_shapes_are_rejected() {
         let mut c = HostConfig::passthrough();
         c.queue_pairs = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroQueuePairs));
 
         let mut c = HostConfig::passthrough();
         c.queue_depth = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroQueueDepth));
 
         let mut c = HostConfig::passthrough();
         c.doorbell_batch = 4; // batching with no flush backstop would hang
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::BatchWithoutFlush));
 
         let mut c = HostConfig::passthrough();
         c.coalesce_depth = 4;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::CoalesceWithoutTimeout));
+
+        let mut c = HostConfig::passthrough();
+        c.max_retries = 2; // retries with no backoff would spin in place
+        assert_eq!(c.validate(), Err(ConfigError::RetryWithoutBackoff));
+    }
+
+    #[test]
+    fn config_errors_render_and_are_std_errors() {
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::RetryWithoutBackoff);
+        assert!(e.to_string().contains("retry_backoff_ns"));
+        assert!(format!("{}", ConfigError::ZeroQueuePairs).contains("queue_pairs"));
     }
 }

@@ -18,15 +18,16 @@
 
 use std::collections::VecDeque;
 
-use cagc_core::Ssd;
+use cagc_core::{CmdStatus, Completion, Ssd};
 use cagc_metrics::{Cdf, Histogram};
 use cagc_sim::event::EventQueue;
 use cagc_sim::time::Nanos;
+use cagc_sim::SimRng;
 use cagc_trace::Track;
 use cagc_workloads::{OpKind, Request, Trace};
 
-use crate::config::HostConfig;
-use crate::report::HostReport;
+use crate::config::{ConfigError, HostConfig};
+use crate::report::{HostReport, ResilienceStats};
 
 /// Engine event payloads.
 #[derive(Debug, Clone)]
@@ -37,6 +38,9 @@ enum Ev {
     DoorbellTimer { q: usize, gen: u64 },
     /// Device finished command `cmd`; its completion entry lands on `q`.
     Complete { q: usize, cmd: usize },
+    /// Re-issue command `cmd` to the device after a retryable error
+    /// completion (backoff + jitter already elapsed).
+    Retry { q: usize, cmd: usize },
     /// Interrupt coalescing backstop for pair `q`, valid only at `gen`.
     IrqTimer { q: usize, gen: u64 },
     /// Continue idle-window GC pumping.
@@ -59,6 +63,11 @@ pub struct CmdLatency {
     pub dispatched_ns: Nanos,
     /// When the completion interrupt delivered it back to the host.
     pub reaped_ns: Nanos,
+    /// The NVMe-style status its final completion carried
+    /// ([`CmdStatus::Success`] on every fault-free run).
+    pub status: CmdStatus,
+    /// Device re-issues the resilience policy spent on this command.
+    pub retries: u32,
 }
 
 impl CmdLatency {
@@ -104,6 +113,7 @@ struct RawStats {
     backlogged: u64,
     pump_slices: u64,
     peak_occupancy: u64,
+    resilience: ResilienceStats,
 }
 
 /// An NVMe-style multi-queue host interface wrapped around one SSD.
@@ -116,12 +126,23 @@ impl HostInterface {
     /// Wrap `ssd` behind the given host interface.
     ///
     /// # Panics
-    /// Panics if the configuration fails [`HostConfig::validate`].
+    /// Panics if the configuration fails [`HostConfig::validate`]; use
+    /// [`HostInterface::try_new`] to handle malformed configs as values.
     pub fn new(ssd: Ssd, cfg: HostConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid HostConfig: {e}");
+        match Self::try_new(ssd, cfg) {
+            Ok(host) => host,
+            Err(e) => panic!("invalid HostConfig: {e}"),
         }
-        Self { cfg, ssd }
+    }
+
+    /// Fallible constructor: a malformed configuration comes back as a
+    /// reportable [`ConfigError`] instead of aborting the process.
+    ///
+    /// # Errors
+    /// Returns the first validation failure of `cfg`.
+    pub fn try_new(ssd: Ssd, cfg: HostConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self { cfg, ssd })
     }
 
     /// The host configuration.
@@ -194,6 +215,7 @@ impl HostInterface {
             closed,
             stats: RawStats::default(),
             pump_pending: false,
+            retry_rng: SimRng::for_stream(self.cfg.retry_seed, "host-retry"),
         };
         r.prime();
         let end_ns = r.drain();
@@ -215,6 +237,7 @@ impl HostInterface {
             backlogged: stats.backlogged,
             pump_slices: stats.pump_slices,
             peak_occupancy: stats.peak_occupancy,
+            resilience: stats.resilience,
             device: self.ssd.report(&trace.name),
             end_ns,
         };
@@ -235,6 +258,10 @@ struct Runner<'a> {
     closed: bool,
     stats: RawStats,
     pump_pending: bool,
+    /// Jitter stream for retry backoff; only drawn when a retry with
+    /// nonzero jitter is actually scheduled, so fault-free runs never
+    /// touch it.
+    retry_rng: SimRng,
 }
 
 impl Runner<'_> {
@@ -274,6 +301,7 @@ impl Runner<'_> {
                     }
                 }
                 Ev::Complete { q, cmd } => self.complete(q, cmd, now),
+                Ev::Retry { q, cmd } => self.issue(q, cmd, now),
                 Ev::IrqTimer { q, gen } => {
                     if gen == self.queues[q].irq_gen && !self.queues[q].cq.is_empty() {
                         self.fire_irq(q, now);
@@ -335,12 +363,8 @@ impl Runner<'_> {
         while let Some(cmd) = self.queues[q].sq.pop_front() {
             fetched += 1;
             self.cmds[cmd].dispatched_ns = now;
-            let exec_at = now + self.cfg.fetch_ns;
-            let req = &self.trace.requests[cmd];
-            let completion = self.ssd.process(&Request { at_ns: exec_at, ..req.clone() });
             self.queues[q].inflight += 1;
-            self.events
-                .push(completion + self.cfg.completion_ns, Ev::Complete { q, cmd });
+            self.issue(q, cmd, now + self.cfg.fetch_ns);
         }
         if self.ssd.tracer().is_enabled() {
             self.ssd.tracer_mut().instant(
@@ -350,6 +374,74 @@ impl Runner<'_> {
                 &[("cmds", fetched)],
             );
         }
+    }
+
+    /// Issue (or re-issue) one command to the device at `exec_at` on the
+    /// checked status path. Success — and error completions the policy
+    /// cannot or will not retry — post a CQ entry carrying the status; a
+    /// retryable error completion (media read error, write fault) within
+    /// the retry budget and deadline schedules an [`Ev::Retry`] after
+    /// exponential backoff + seeded jitter instead. Write-protection is
+    /// never retried (the spare pool is gone for good).
+    fn issue(&mut self, q: usize, cmd: usize, exec_at: Nanos) {
+        let req = &self.trace.requests[cmd];
+        // Power loss keeps the absorb semantics the panicking path had via
+        // `Ssd::process` (the command completes un-serviced at issue time);
+        // crash workloads drive the device directly and recover there.
+        let comp = self
+            .ssd
+            .process_status(&Request { at_ns: exec_at, ..req.clone() })
+            .unwrap_or(Completion { end_ns: exec_at, status: CmdStatus::Success });
+        if !comp.status.is_ok() {
+            let wanted = self.cmds[cmd].wanted_ns;
+            let tries = self.cmds[cmd].retries;
+            let deadline =
+                if self.cfg.deadline_ns > 0 { Some(wanted + self.cfg.deadline_ns) } else { None };
+            if comp.status.is_retryable() && tries < self.cfg.max_retries {
+                let backoff = self.cfg.retry_backoff_ns << tries.min(16);
+                let jitter = if self.cfg.retry_jitter_ns > 0 {
+                    self.retry_rng.gen_range_u64(0..self.cfg.retry_jitter_ns)
+                } else {
+                    0
+                };
+                let retry_at = comp.end_ns + backoff + jitter;
+                let past_deadline = match deadline {
+                    Some(d) => retry_at > d,
+                    None => false,
+                };
+                if !past_deadline {
+                    self.cmds[cmd].retries += 1;
+                    self.stats.resilience.retries += 1;
+                    if self.ssd.tracer().is_enabled() {
+                        self.ssd.tracer_mut().instant(
+                            Track::Queue { pair: q as u32 },
+                            "retry",
+                            comp.end_ns,
+                            &[("req", cmd as u64), ("attempt", u64::from(tries) + 1)],
+                        );
+                    }
+                    self.events.push(retry_at, Ev::Retry { q, cmd });
+                    return;
+                }
+                // Budget remains but the next attempt would start past the
+                // deadline: abandon the command with its last error status.
+                self.stats.resilience.aborts += 1;
+            }
+            match comp.status {
+                CmdStatus::MediaReadError => self.stats.resilience.media_read_errors += 1,
+                CmdStatus::WriteFault => self.stats.resilience.write_faults += 1,
+                CmdStatus::WriteProtected => self.stats.resilience.write_protected += 1,
+                CmdStatus::Success => {}
+            }
+        }
+        self.cmds[cmd].status = comp.status;
+        let end = comp.end_ns + self.cfg.completion_ns;
+        if self.cfg.deadline_ns > 0 && end > self.cmds[cmd].wanted_ns + self.cfg.deadline_ns {
+            // Observational only: the completion is still delivered; the
+            // counter is how an operator sees deadline pressure build.
+            self.stats.resilience.timeouts += 1;
+        }
+        self.events.push(end, Ev::Complete { q, cmd });
     }
 
     /// Completion entry posted; interrupt now (depth reached) or arm the

@@ -6,6 +6,64 @@ use cagc_harness::{Json, ToJson};
 use cagc_metrics::Cdf;
 use cagc_sim::time::{fmt_duration, Nanos};
 
+/// Host resilience-policy counters: what the retry/deadline machinery did
+/// and which error completions ultimately surfaced to the host.
+///
+/// All-zero on a fault-free run (the policy never fires), and the whole
+/// section is omitted from rendered/JSON output in that case, keeping
+/// fault-free reports byte-identical with or without the policy armed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Error completions re-issued to the device.
+    pub retries: u64,
+    /// Final completions delivered past the per-command deadline
+    /// (observational — the completion is still delivered).
+    pub timeouts: u64,
+    /// Commands abandoned because the next retry would start past the
+    /// deadline (retry budget remained).
+    pub aborts: u64,
+    /// Media-read-error completions that surfaced (post-retry).
+    pub media_read_errors: u64,
+    /// Write-fault completions that surfaced (post-retry).
+    pub write_faults: u64,
+    /// Write-protected rejections (device read-only; never retried).
+    pub write_protected: u64,
+}
+
+impl ResilienceStats {
+    /// True when the policy never fired and no error surfaced — the
+    /// section carries no information and is omitted from output.
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// One-line human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "retries={} timeouts={} aborts={} errors: media_read={} write_fault={} write_protected={}",
+            self.retries,
+            self.timeouts,
+            self.aborts,
+            self.media_read_errors,
+            self.write_faults,
+            self.write_protected,
+        )
+    }
+}
+
+impl ToJson for ResilienceStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("retries", Json::U64(self.retries)),
+            ("timeouts", Json::U64(self.timeouts)),
+            ("aborts", Json::U64(self.aborts)),
+            ("media_read_errors", Json::U64(self.media_read_errors)),
+            ("write_faults", Json::U64(self.write_faults)),
+            ("write_protected", Json::U64(self.write_protected)),
+        ])
+    }
+}
+
 /// Result of one host-interface replay.
 ///
 /// All latencies are *host-observed*: from the moment the host wanted the
@@ -44,6 +102,9 @@ pub struct HostReport {
     pub pump_slices: u64,
     /// Highest total slot occupancy observed across all pairs.
     pub peak_occupancy: u64,
+    /// Resilience-policy counters (retries, timeouts, aborts, surfaced
+    /// error completions). Quiet on fault-free runs.
+    pub resilience: ResilienceStats,
     /// The device-side report for the same run.
     pub device: RunReport,
     /// Simulated time of the last event.
@@ -53,7 +114,7 @@ pub struct HostReport {
 impl HostReport {
     /// Multi-line human-readable summary.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "host {} pairs={} qd={} end={}\n  all:    {}\n  reads:  {}\n  writes: {}\n  wait:   {}\n  doorbells={} irqs={} backlogged={} pump_slices={} peak_occupancy={}",
             self.mode,
             self.queue_pairs,
@@ -68,13 +129,18 @@ impl HostReport {
             self.backlogged,
             self.pump_slices,
             self.peak_occupancy,
-        )
+        );
+        if !self.resilience.is_quiet() {
+            out.push_str("\n  resilience: ");
+            out.push_str(&self.resilience.render());
+        }
+        out
     }
 }
 
 impl ToJson for HostReport {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&'static str, Json)> = vec![
             ("mode", Json::Str(self.mode.to_string())),
             ("queue_pairs", Json::U64(u64::from(self.queue_pairs))),
             ("queue_depth", Json::U64(u64::from(self.queue_depth))),
@@ -88,8 +154,14 @@ impl ToJson for HostReport {
             ("backlogged", Json::U64(self.backlogged)),
             ("pump_slices", Json::U64(self.pump_slices)),
             ("peak_occupancy", Json::U64(self.peak_occupancy)),
-            ("device", self.device.to_json()),
-            ("end_ns", Json::U64(self.end_ns)),
-        ])
+        ];
+        // Pay-as-you-go: the section appears only once the policy has
+        // something to say, so quiet reports keep their historical bytes.
+        if !self.resilience.is_quiet() {
+            fields.push(("resilience", self.resilience.to_json()));
+        }
+        fields.push(("device", self.device.to_json()));
+        fields.push(("end_ns", Json::U64(self.end_ns)));
+        Json::obj(fields)
     }
 }

@@ -2,9 +2,10 @@
 //! identity with the synchronous replay path, closed-loop QD=1 equivalence,
 //! determinism, coalescing, backpressure, and the idle GC pump.
 
-use cagc_core::{Scheme, Ssd, SsdConfig};
+use cagc_core::{CmdStatus, Scheme, Ssd, SsdConfig};
+use cagc_flash::FaultConfig;
 use cagc_harness::ToJson;
-use cagc_host::{HostConfig, HostInterface};
+use cagc_host::{ConfigError, HostConfig, HostInterface, HostReport};
 use cagc_workloads::{Request, SynthConfig, Trace};
 
 fn churn_trace(seed: u64, requests: usize, mean_interarrival_ns: u64) -> Trace {
@@ -140,6 +141,149 @@ fn commands_spread_across_pairs() {
         "four pairs at depth 4 should exceed one pair's worth of slots (peak {})",
         report.peak_occupancy
     );
+}
+
+/// A tiny device with a hot fault plan: injected ECC and program failures
+/// plus a cranked unrecoverable probability, so host commands actually
+/// complete with error statuses.
+fn faulty_config(seed: u64) -> SsdConfig {
+    let mut cfg = SsdConfig::tiny(Scheme::Cagc);
+    cfg.faults = FaultConfig {
+        program_fail_prob: 0.05,
+        read_ecc_prob: 0.2,
+        unrecoverable_prob: 0.5,
+        seed,
+        ..FaultConfig::none()
+    };
+    cfg
+}
+
+/// The QD=1 byte-identity gate extended to the faulty regime: with
+/// unrecoverable faults armed and the resilience policy disabled,
+/// closed-loop QD=1 through the passthrough shape must match the direct
+/// sequential `process_status` chain — byte-identical device report and
+/// identical surfaced-error counters, status by status.
+#[test]
+fn closed_loop_qd1_matches_sequential_reference_under_faults() {
+    let trace = churn_trace(37, 5_000, 200_000);
+    let mut reference = Ssd::new(faulty_config(41));
+    let mut t = 0;
+    let (mut media, mut wfault, mut wprot) = (0u64, 0u64, 0u64);
+    for r in &trace.requests {
+        let c = reference
+            .process_status(&Request { at_ns: t, ..r.clone() })
+            .expect("no crash configured");
+        t = c.end_ns;
+        match c.status {
+            CmdStatus::MediaReadError => media += 1,
+            CmdStatus::WriteFault => wfault += 1,
+            CmdStatus::WriteProtected => wprot += 1,
+            CmdStatus::Success => {}
+        }
+    }
+    let want = reference.report(&trace.name).to_json().render();
+    assert!(media + wfault > 0, "fault plan too mild to exercise the gate");
+
+    let mut cfg = HostConfig::passthrough();
+    cfg.queue_depth = 1;
+    let mut host = HostInterface::new(Ssd::new(faulty_config(41)), cfg);
+    let report = host.replay_closed_loop(&trace);
+    host.ssd().audit().expect("audit after faulty closed-loop replay");
+    assert_eq!(report.device.to_json().render(), want);
+    assert_eq!(report.resilience.media_read_errors, media);
+    assert_eq!(report.resilience.write_faults, wfault);
+    assert_eq!(report.resilience.write_protected, wprot);
+    assert_eq!(report.resilience.retries, 0, "policy disabled: no retries");
+    assert_eq!(report.end_ns, t, "last reap is the last completion");
+}
+
+/// The armed retry policy re-issues retryable error completions and
+/// recovers most of them (a re-read rarely needs the heroic decode again),
+/// and stays deterministic with jitter drawn from the seeded stream.
+#[test]
+fn retry_policy_recovers_errors_and_stays_deterministic() {
+    let trace = churn_trace(41, 5_000, 200_000);
+    let run = |resilient: bool| -> HostReport {
+        let mut cfg = HostConfig::passthrough();
+        cfg.queue_depth = 1;
+        if resilient {
+            cfg = cfg.with_resilience(0, 4, 10_000, 2_000, 9);
+        }
+        let mut host = HostInterface::new(Ssd::new(faulty_config(43)), cfg);
+        let r = host.replay_closed_loop(&trace);
+        host.ssd().audit().expect("audit after resilient replay");
+        r
+    };
+    let surfaced = |r: &HostReport| {
+        r.resilience.media_read_errors + r.resilience.write_faults + r.resilience.write_protected
+    };
+    let plain = run(false);
+    assert!(surfaced(&plain) > 0, "fault plan too mild to exercise retries");
+    let resilient = run(true);
+    assert!(resilient.resilience.retries > 0, "errors must trigger retries");
+    assert!(
+        surfaced(&resilient) < surfaced(&plain),
+        "retries should recover errors ({} surfaced with policy, {} without)",
+        surfaced(&resilient),
+        surfaced(&plain)
+    );
+    assert_eq!(
+        run(true).to_json().render(),
+        resilient.to_json().render(),
+        "resilient replay (incl. jitter stream) must be deterministic"
+    );
+}
+
+/// A deadline shorter than any backoff turns every would-be retry into an
+/// abort, and completions landing past it count as timeouts.
+#[test]
+fn deadline_aborts_retries_and_counts_timeouts() {
+    let trace = churn_trace(43, 5_000, 200_000);
+    let mut cfg = HostConfig::passthrough();
+    cfg.queue_depth = 1;
+    cfg = cfg.with_resilience(1, 4, 10_000_000, 0, 9);
+    let mut host = HostInterface::new(Ssd::new(faulty_config(47)), cfg);
+    let report = host.replay_closed_loop(&trace);
+    host.ssd().audit().expect("audit after deadline replay");
+    let r = &report.resilience;
+    assert!(r.aborts > 0, "every retryable error should abort on the 1ns deadline");
+    assert_eq!(r.retries, 0, "no retry fits inside a 1ns deadline");
+    assert!(r.timeouts > 0, "completions past the deadline count as timeouts");
+    assert!(
+        r.media_read_errors + r.write_faults > 0,
+        "aborted commands surface their last error status"
+    );
+    assert_eq!(report.all.count, trace.requests.len() as u64, "aborts still complete");
+}
+
+/// An armed resilience policy on a fault-free device never fires — no
+/// retries, no PRNG draws, no extra events — so the host report is
+/// byte-identical to a run without it.
+#[test]
+fn armed_resilience_is_invisible_on_fault_free_runs() {
+    let trace = churn_trace(47, 5_000, 100_000);
+    let run = |cfg: HostConfig| {
+        let mut host = HostInterface::new(Ssd::new(SsdConfig::tiny(Scheme::Cagc)), cfg);
+        host.replay_closed_loop(&trace).to_json().render()
+    };
+    // The deadline must sit above the fault-free tail (timeouts are
+    // counted even without faults — deadline pressure is observable); one
+    // simulated second clears it by orders of magnitude.
+    let base = HostConfig::nvme(2, 8);
+    let armed = base.clone().with_resilience(1_000_000_000, 3, 50_000, 10_000, 7);
+    assert_eq!(run(base), run(armed), "armed policy must be invisible without faults");
+}
+
+/// Malformed host configs come back as reportable errors from `try_new`;
+/// only the panicking convenience constructor aborts.
+#[test]
+fn malformed_config_is_reported_not_panicked() {
+    let mut cfg = HostConfig::passthrough();
+    cfg.max_retries = 1; // retries with no backoff would spin in place
+    let err = HostInterface::try_new(Ssd::new(SsdConfig::tiny(Scheme::Cagc)), cfg)
+        .err()
+        .expect("validation must fail");
+    assert_eq!(err, ConfigError::RetryWithoutBackoff);
 }
 
 /// With preemptible GC on the device and the pump enabled, an open-loop

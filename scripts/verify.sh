@@ -49,6 +49,16 @@ cmp "$TRACE_TMP/qd1/sweep_qd.csv" "$TRACE_TMP/qd2/sweep_qd.csv" \
 cmp "$TRACE_TMP/qd1/gc_preempt_cdf.csv" "$TRACE_TMP/qd2/gc_preempt_cdf.csv" \
   || { echo "FAIL: same-seed gc_preempt_cdf.csv must be byte-identical"; exit 1; }
 
+echo "== smoke: armed resilience is invisible on fault-free devices =="
+# --resilient arms the host retry/backoff/deadline policy; with no
+# injected faults it must not change a single byte (docs/FAULTS.md).
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --scale quick --out "$TRACE_TMP/qd3" --resilient sweep-qd > /dev/null
+cmp "$TRACE_TMP/qd1/sweep_qd.csv" "$TRACE_TMP/qd3/sweep_qd.csv" \
+  || { echo "FAIL: --resilient must not change fault-free sweep_qd.csv"; exit 1; }
+cmp "$TRACE_TMP/qd1/gc_preempt_cdf.csv" "$TRACE_TMP/qd3/gc_preempt_cdf.csv" \
+  || { echo "FAIL: --resilient must not change fault-free gc_preempt_cdf.csv"; exit 1; }
+
 echo "== smoke: fleet sweep (analytic WAF gate + worker-count byte-determinism) =="
 # The dynamic scheduler must be invisible in the output: one worker vs
 # machine parallelism, byte-identical CSVs (docs/FLEET.md).
@@ -61,6 +71,19 @@ cmp "$TRACE_TMP/fleet1/sweep_fleet.csv" "$TRACE_TMP/fleet2/sweep_fleet.csv" \
   || { echo "FAIL: sweep_fleet.csv must be byte-identical across worker counts"; exit 1; }
 cmp "$TRACE_TMP/fleet1/fleet_qos.csv" "$TRACE_TMP/fleet2/fleet_qos.csv" \
   || { echo "FAIL: fleet_qos.csv must be byte-identical across worker counts"; exit 1; }
+
+echo "== smoke: chaos campaign (graceful degradation + worker-count byte-determinism) =="
+# The sweep asserts its own gates (zero-fault cells byte-identical to a
+# fault-free fleet; every harsh cell degrades with tenant attribution)
+# and prints the token grepped here. Worker counts must be invisible in
+# the bytes even when devices degrade mid-replay (docs/FAULTS.md).
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --scale quick --out "$TRACE_TMP/chaos1" --workers 1 sweep-chaos \
+  | grep "chaos gate OK"
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --scale quick --out "$TRACE_TMP/chaos2" --workers 0 sweep-chaos > /dev/null
+cmp "$TRACE_TMP/chaos1/sweep_chaos.csv" "$TRACE_TMP/chaos2/sweep_chaos.csv" \
+  || { echo "FAIL: sweep_chaos.csv must be byte-identical across worker counts"; exit 1; }
 
 echo "== perf: fleet fan-out bench vs committed baseline (docs/FLEET.md) =="
 # Same retry discipline as the hotpath gate below. The w1-vs-w8 speedup
