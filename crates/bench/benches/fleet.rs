@@ -57,6 +57,8 @@ fn skewed_fleet() -> FleetConfig {
         faults: cagc_flash::FaultConfig::none(),
         gc_preempt: false,
         read_only_floor_blocks: None,
+        telemetry: None,
+        slo: None,
     }
 }
 

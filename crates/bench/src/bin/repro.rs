@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N]
-//!       [--trace PATH] [--trace-sample N] [--resilient] [--smoke] CMD...
+//!       [--trace PATH] [--trace-sample N] [--resilient] [--preempt]
+//!       [--diff A B] [--smoke] CMD...
 //!
 //! CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13
 //!      ablate-placement ablate-overlap ablate-threshold ablate-watermark
@@ -10,6 +11,10 @@
 //!      sweep-fleet sweep-chaos wear
 //!      smoke      (one seeded GC-heavy CAGC replay; with --trace, emits
 //!                  a Chrome trace + JSONL event log — see docs/OBSERVABILITY.md)
+//!      inspect    (trace analytics: span profile, GC-cycle anatomy, and
+//!                  flamegraph from --trace PATH.jsonl or a fresh seeded
+//!                  replay; --diff A B reports per-GC-phase time deltas
+//!                  between two JSONL traces)
 //!      all        (tables + every figure)
 //!      ablations  (every ablation and extension study)
 //! ```
@@ -17,9 +22,11 @@
 //! Text results go to stdout; CSV series are written under `--out`
 //! (default `results/`). `--smoke` is shorthand for the `smoke` command;
 //! `--trace-sample N` records every Nth host request's spans (GC, fault
-//! and gauge activity is always recorded). `--resilient` arms the host
-//! retry/deadline policy in `sweep-qd` — on fault-free devices it must
-//! change nothing (the byte-identity gate `scripts/verify.sh` runs).
+//! and gauge activity is always recorded). `--preempt` runs the seeded
+//! smoke/inspect replay with preemptible (sliced) GC. `--resilient` arms
+//! the host retry/deadline policy in `sweep-qd` — on fault-free devices
+//! it must change nothing (the byte-identity gate `scripts/verify.sh`
+//! runs).
 
 use cagc_bench::experiments as exp;
 use cagc_bench::{Artifacts, Scale};
@@ -30,12 +37,13 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale quick|default|full] [--seed N] [--out DIR] [--workers N]\n\
-         \x20            [--trace PATH] [--trace-sample N] [--resilient] [--smoke] CMD...\n\
+         \x20            [--trace PATH] [--trace-sample N] [--resilient] [--preempt]\n\
+         \x20            [--diff A B] [--smoke] CMD...\n\
          CMD: table1 table2 fig2 fig6 fig9 fig10 fig11 fig12 fig13\n\
          \x20    ablate-placement ablate-overlap ablate-threshold ablate-watermark ablate-idle-gc\n\
          \x20    compare-inline sweep-utilization sweep-trim sweep-faults sweep-qd sweep-fleet\n\
          \x20    sweep-chaos wear\n\
-         \x20    smoke | all | ablations"
+         \x20    smoke | inspect | all | ablations"
     );
     std::process::exit(2);
 }
@@ -45,18 +53,9 @@ fn usage() -> ! {
 /// (Chrome trace-event JSON at `path`, JSONL next to it) and proves the
 /// Chrome document round-trips through the harness JSON parser before
 /// anything touches disk.
-fn smoke(scale: &Scale, trace_out: Option<&std::path::Path>, sample: u64) {
-    use cagc_core::{Scheme, Ssd, SsdConfig, TraceConfig};
-    use cagc_workloads::FiuWorkload;
-
-    let flash = cagc_flash::UllConfig::tiny_for_tests();
-    let trace = FiuWorkload::Mail
-        .synth_config((flash.logical_pages() as f64 * 0.9) as u64, 6_000, scale.seed)
-        .generate();
-    let mut ssd = Ssd::new(SsdConfig::tiny(Scheme::Cagc));
-    if trace_out.is_some() {
-        ssd.enable_tracing(TraceConfig { sample, ..TraceConfig::default() });
-    }
+fn smoke(scale: &Scale, trace_out: Option<&std::path::Path>, sample: u64, preempt: bool) {
+    let mut ssd = smoke_device(scale, trace_out.is_some(), sample, preempt);
+    let trace = smoke_trace(scale);
     let report = ssd.replay(&trace);
     println!("{}", report.render());
     if let Some(path) = trace_out {
@@ -76,6 +75,92 @@ fn smoke(scale: &Scale, trace_out: Option<&std::path::Path>, sample: u64) {
     }
 }
 
+/// The shared seeded workload behind `smoke` and `inspect`.
+fn smoke_trace(scale: &Scale) -> cagc_workloads::Trace {
+    use cagc_workloads::FiuWorkload;
+    let flash = cagc_flash::UllConfig::tiny_for_tests();
+    FiuWorkload::Mail
+        .synth_config((flash.logical_pages() as f64 * 0.9) as u64, 6_000, scale.seed)
+        .generate()
+}
+
+/// The shared seeded device behind `smoke` and `inspect`.
+fn smoke_device(scale: &Scale, traced: bool, sample: u64, preempt: bool) -> cagc_core::Ssd {
+    use cagc_core::{Scheme, Ssd, SsdConfig, TraceConfig};
+    let _ = scale;
+    let mut cfg = SsdConfig::tiny(Scheme::Cagc);
+    cfg.gc_preempt = preempt;
+    let mut ssd = Ssd::new(cfg);
+    if traced {
+        ssd.enable_tracing(TraceConfig { sample, ..TraceConfig::default() });
+    }
+    ssd
+}
+
+/// The `inspect` command: in-tree trace analytics. With `--diff A B` it
+/// compares two JSONL traces phase by phase (GC-anatomy deltas); with
+/// `--trace PATH` it analyzes `PATH` (the JSONL the `smoke` command
+/// writes); with neither it runs the seeded smoke replay (honoring
+/// `--preempt`) and analyzes it live — the live span stream and its
+/// JSONL round-trip are byte-equivalent (tested in `cagc-trace`).
+fn inspect(
+    scale: &Scale,
+    out_dir: &std::path::Path,
+    trace_in: Option<&std::path::Path>,
+    diff: Option<(&std::path::Path, &std::path::Path)>,
+    preempt: bool,
+    sample: u64,
+) {
+    use cagc_trace::{from_tracer, parse_jsonl, GcAnatomy, ParsedTrace, SpanProfile};
+
+    fn load(path: &std::path::Path) -> ParsedTrace {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        parse_jsonl(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+    }
+
+    if let Some((a, b)) = diff {
+        let an_a = GcAnatomy::from_spans(&load(a).spans);
+        let an_b = GcAnatomy::from_spans(&load(b).spans);
+        let csv = an_a.diff_csv(&an_b);
+        println!("GC anatomy diff (A = {}, B = {}):", a.display(), b.display());
+        print!("{csv}");
+        let path = out_dir.join("inspect_diff.csv");
+        std::fs::write(&path, &csv).expect("write diff CSV");
+        println!("  -> {}", path.display());
+        return;
+    }
+
+    let parsed = match trace_in {
+        Some(p) => load(p),
+        None => {
+            let mut ssd = smoke_device(scale, true, sample, preempt);
+            let _ = ssd.replay(&smoke_trace(scale));
+            from_tracer(ssd.tracer())
+        }
+    };
+    if parsed.dropped_events > 0 {
+        println!(
+            "WARNING: {} events were dropped at the tracer cap — the profile and \
+             anatomy below are truncated",
+            parsed.dropped_events
+        );
+    }
+    let profile = SpanProfile::from_spans(&parsed.spans);
+    let anatomy = GcAnatomy::from_spans(&parsed.spans);
+    println!("{}", profile.render());
+    println!("{}", anatomy.render());
+    for (name, content) in [
+        ("inspect_profile.csv", profile.to_csv()),
+        ("inspect_anatomy.csv", anatomy.to_csv()),
+        ("inspect_flame.txt", profile.flamegraph()),
+    ] {
+        let path = out_dir.join(name);
+        std::fs::write(&path, &content).expect("write inspect artifact");
+        println!("  -> {}", path.display());
+    }
+}
+
 fn main() {
     let mut args: VecDeque<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default_scale();
@@ -84,10 +169,18 @@ fn main() {
     let mut trace_out: Option<PathBuf> = None;
     let mut trace_sample: u64 = 1;
     let mut resilient = false;
+    let mut preempt = false;
+    let mut diff: Option<(PathBuf, PathBuf)> = None;
 
     while let Some(a) = args.pop_front() {
         match a.as_str() {
             "--resilient" => resilient = true,
+            "--preempt" => preempt = true,
+            "--diff" => {
+                let a = PathBuf::from(args.pop_front().unwrap_or_else(|| usage()));
+                let b = PathBuf::from(args.pop_front().unwrap_or_else(|| usage()));
+                diff = Some((a, b));
+            }
             "--trace" => {
                 trace_out = Some(PathBuf::from(args.pop_front().unwrap_or_else(|| usage())))
             }
@@ -169,8 +262,20 @@ fn main() {
     for cmd in &expanded {
         let t = Instant::now();
         if cmd == "smoke" {
-            smoke(&scale, trace_out.as_deref(), trace_sample);
+            smoke(&scale, trace_out.as_deref(), trace_sample, preempt);
             println!("  [smoke in {:.1?}]\n", t.elapsed());
+            continue;
+        }
+        if cmd == "inspect" {
+            inspect(
+                &scale,
+                &out_dir,
+                trace_out.as_deref(),
+                diff.as_ref().map(|(a, b)| (a.as_path(), b.as_path())),
+                preempt,
+                trace_sample,
+            );
+            println!("  [inspect in {:.1?}]\n", t.elapsed());
             continue;
         }
         let art: Artifacts = match cmd.as_str() {

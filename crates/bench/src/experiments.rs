@@ -1185,13 +1185,18 @@ pub fn sweep_qd(scale: &Scale, resilient: bool) -> Artifacts {
 /// serving a tenant blend, fanned out over the deterministic dynamic
 /// scheduler (`cagc_harness::pool::map_ordered_dynamic_chunked`).
 ///
-/// Three artifacts:
+/// Four artifacts:
 ///
 /// * `sweep_fleet.csv` — per-mix WAF / dedup / erase rollups over a
 ///   (fleet size × scheme) grid of direct-replay fleets;
 /// * `fleet_qos.csv` — per-(mix, tenant) end-to-end latency percentiles
 ///   from the largest CAGC fleet replayed through the NVMe-style
 ///   multi-queue host interface (`cagc_host`);
+/// * `fleet_timeline.csv` — the observability plane's time-resolved view
+///   of a host-mode CAGC fleet with telemetry and SLO tracking armed:
+///   per-device gauge series (namespaced `dev{id}/…`), exact `fleet/…`
+///   merges, and per-tenant SLO violation-rate series
+///   (`slo/{mix}/{tenant}`);
 /// * an **acceptance gate** (asserted, and printed for the CI log):
 ///   measured steady-state WAF under uniform random traffic must track
 ///   the Li/Lee/Lui mean-field greedy-cleaning curve
@@ -1203,7 +1208,7 @@ pub fn sweep_qd(scale: &Scale, resilient: bool) -> Artifacts {
 /// parallelism); `--workers` sets the fan-out width.
 pub fn sweep_fleet(scale: &Scale) -> Artifacts {
     use cagc_fleet::analytic::{uniform_validation, waf_fifo, waf_greedy, UniformValidation};
-    use cagc_fleet::{run_fleet, FleetConfig, TenantMix};
+    use cagc_fleet::{run_fleet, FleetConfig, FleetTelemetryConfig, SloConfig, TenantMix};
 
     // The fleet grid runs tiny devices: fleet effects are cross-device,
     // and per-mix ratios are stable in device size (EXPERIMENTS.md).
@@ -1229,6 +1234,8 @@ pub fn sweep_fleet(scale: &Scale) -> Artifacts {
         faults: cagc_flash::FaultConfig::none(),
         gc_preempt: false,
         read_only_floor_blocks: None,
+        telemetry: None, // armed only in the observability cell
+        slo: None,
     };
 
     let mut text = String::from(
@@ -1283,6 +1290,28 @@ pub fn sweep_fleet(scale: &Scale) -> Artifacts {
             }
         }
     }
+    // Observability cell: the smallest CAGC fleet, host-mode, with the
+    // fleet observability plane armed — gauges-only telemetry per device
+    // (namespaced and merged into the fleet timeline) plus per-tenant
+    // SLO tracking against a 100 ms host-observed objective. The plane
+    // cannot perturb the simulation (gated in cagc-fleet and by
+    // scripts/verify.sh), so the grid's artifacts above are
+    // byte-identical to an unobserved sweep; fleet_timeline.csv adds the
+    // time-resolved view.
+    let obs_cfg = FleetConfig {
+        devices: fleet_sizes[0],
+        scheme: Scheme::Cagc,
+        host_queues: Some((2, 8)),
+        telemetry: Some(FleetTelemetryConfig::gauges_only(100_000_000, 1)),
+        slo: Some(SloConfig::uniform(100_000_000, 900, 100_000_000)),
+        ..base.clone()
+    };
+    let obs_rep = run_fleet(&obs_cfg);
+    text.push_str("Observability cell (host-mode CAGC fleet, gauges + per-tenant SLO armed):\n");
+    text.push_str(&obs_rep.render());
+    text.push_str("\n\n");
+    let timeline_csv = obs_rep.timeline_csv();
+
     text.push_str(&tab.render());
 
     // Acceptance gate: a small fleet of independently seeded devices
@@ -1328,6 +1357,10 @@ pub fn sweep_fleet(scale: &Scale) -> Artifacts {
         csv: vec![
             ("sweep_fleet.csv".into(), csv),
             ("fleet_qos.csv".into(), qos_csv.expect("CAGC cell ran at the largest fleet size")),
+            (
+                "fleet_timeline.csv".into(),
+                timeline_csv.expect("the observability cell was armed"),
+            ),
         ],
     }
 }
@@ -1385,6 +1418,8 @@ pub fn sweep_chaos(scale: &Scale) -> Artifacts {
         // The whole device: the first retirement trips read-only, long
         // before repeated erase failures can bleed the GC reserve dry.
         read_only_floor_blocks: Some(flash.geometry().total_blocks()),
+        telemetry: None,
+        slo: None,
     };
 
     // Erase-failure probability is the intensity axis; correctable ECC

@@ -682,6 +682,17 @@ impl Ssd {
         }
     }
 
+    /// Sample every telemetry gauge at `now`, regardless of host-op
+    /// sampling. The fleet observability plane calls this once per device
+    /// at end of run so a sparsely-sampled (or gauges-only) tracer still
+    /// closes its timeline with the final device state; a disabled tracer
+    /// makes this a no-op.
+    pub fn sample_telemetry(&mut self, now: Nanos) {
+        if self.tracer.is_enabled() {
+            self.sample_gauges(now);
+        }
+    }
+
     /// Emit a die-track span for a completed flash operation, named by the
     /// current [`TraceCtx`]. `host_name`/`gc_name` distinguish foreground
     /// I/O from GC migration on the same die timeline.

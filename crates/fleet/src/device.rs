@@ -26,7 +26,11 @@ use cagc_host::{HostConfig, HostInterface};
 use cagc_metrics::Histogram;
 use cagc_core::LatencySummary;
 use cagc_sim::time::Nanos;
+use cagc_trace::SpanProfile;
 use cagc_workloads::{mixer, OpKind, Request, Trace};
+
+use crate::observe::{DeviceObservability, FleetTelemetryConfig};
+use crate::slo::{SloConfig, TenantSloTrack};
 
 /// One tenant's stream on a device: a display label and a shared handle
 /// to its (immutable) trace.
@@ -67,6 +71,12 @@ pub struct DeviceSpec {
     /// read-only trip wire sensitive to the first few retirements —
     /// chaos campaigns use it to reach degradation in bounded work.
     pub read_only_floor_blocks: Option<u32>,
+    /// Arm this device's tracer and capture its gauge registry (and
+    /// optionally a span profile) with the report. `None` keeps the cell
+    /// byte-identical to an unobserved run.
+    pub telemetry: Option<FleetTelemetryConfig>,
+    /// Track per-tenant latency objectives. `None` records nothing.
+    pub slo: Option<SloConfig>,
 }
 
 /// Per-tenant accounting for one device.
@@ -151,6 +161,11 @@ pub struct DeviceReport {
     pub end_ns: Nanos,
     /// Per-tenant accounting, in namespace order.
     pub tenants: Vec<TenantReport>,
+    /// Telemetry capture (only when [`DeviceSpec::telemetry`] was set).
+    pub obs: Option<DeviceObservability>,
+    /// Per-tenant SLO ledgers, namespace order (only when
+    /// [`DeviceSpec::slo`] was set).
+    pub slo: Option<Vec<TenantSloTrack>>,
 }
 
 impl DeviceReport {
@@ -169,6 +184,8 @@ impl DeviceReport {
         run: &RunReport,
         tenants: Vec<TenantReport>,
         degraded_at_ns: Option<Nanos>,
+        obs: Option<DeviceObservability>,
+        slo: Option<Vec<TenantSloTrack>>,
     ) -> Self {
         let mut totals = TrafficTotals::default();
         totals.add(run);
@@ -186,6 +203,8 @@ impl DeviceReport {
             failed_ops,
             end_ns: run.end_ns,
             tenants,
+            obs,
+            slo,
         }
     }
 }
@@ -217,6 +236,23 @@ impl ToJson for DeviceReport {
         }
         if self.failed_ops > 0 {
             fields.push(("failed_ops", Json::U64(self.failed_ops)));
+        }
+        // Pay-as-you-go observability: unobserved devices carry neither
+        // key, and the per-device summary stays small — the full gauge
+        // windows and SLO ledgers live in the fleet-level rollups and
+        // the timeline CSV artifact.
+        if let Some(obs) = &self.obs {
+            let mut t: Vec<(&'static str, Json)> = vec![
+                ("gauges", Json::U64(obs.gauges.len() as u64)),
+                ("dropped_events", Json::U64(obs.dropped_events)),
+            ];
+            if let Some(p) = &obs.profile {
+                t.push(("profiled_buckets", Json::U64(p.rows().len() as u64)));
+            }
+            fields.push(("telemetry", Json::obj(t)));
+        }
+        if let Some(slo) = &self.slo {
+            fields.push(("slo_met", Json::Bool(slo.iter().all(|t| t.met()))));
         }
         fields.push(("tenants", Json::Arr(self.tenants.iter().map(|t| t.to_json()).collect())));
         Json::obj(fields)
@@ -259,20 +295,30 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
     if let Some(floor) = spec.read_only_floor_blocks {
         cfg.read_only_floor_blocks = floor;
     }
-    let ssd = Ssd::new(cfg);
+    let mut ssd = Ssd::new(cfg);
     assert!(
         total_pages <= ssd.logical_pages(),
         "device {}: tenants need {total_pages} logical pages, device exports {}",
         spec.id,
         ssd.logical_pages()
     );
+    if let Some(tcfg) = &spec.telemetry {
+        ssd.enable_tracing(tcfg.trace_config());
+    }
     let mut tenants: Vec<TenantReport> =
         spec.tenants.iter().map(|t| tenant_traffic(&t.label, &t.trace)).collect();
+    let mut slo_tracks: Option<Vec<TenantSloTrack>> = spec
+        .slo
+        .as_ref()
+        .map(|c| spec.tenants.iter().map(|t| TenantSloTrack::new(&t.label, c)).collect());
 
     match spec.host_queues {
         None => {
-            let (run, degraded_at) = replay_direct(ssd, spec, &mut tenants);
-            DeviceReport::from_run(spec, &run, tenants, degraded_at)
+            let (run, degraded_at) =
+                replay_direct(&mut ssd, spec, &mut tenants, slo_tracks.as_deref_mut());
+            ssd.sample_telemetry(run.end_ns);
+            let obs = spec.telemetry.as_ref().map(|t| collect_obs(&ssd, t));
+            DeviceReport::from_run(spec, &run, tenants, degraded_at, obs, slo_tracks)
         }
         Some((pairs, depth)) => {
             // Materialize the merged trace transiently (only while this
@@ -286,6 +332,9 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
             let mut degraded_at = None;
             for (cmd, &tag) in lats.iter().zip(&tags) {
                 tenants[tag as usize].hist.record(cmd.latency_ns());
+                if let Some(tracks) = slo_tracks.as_deref_mut() {
+                    tracks[tag as usize].record(cmd.reaped_ns, cmd.latency_ns());
+                }
                 if !cmd.status.is_ok() {
                     tenants[tag as usize].failed_ops += 1;
                     if cmd.status == CmdStatus::WriteProtected {
@@ -296,8 +345,27 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
                     }
                 }
             }
-            DeviceReport::from_run(spec, &hreport.device, tenants, degraded_at)
+            host.ssd_mut().sample_telemetry(hreport.device.end_ns);
+            let obs = spec.telemetry.as_ref().map(|t| collect_obs(host.ssd(), t));
+            DeviceReport::from_run(spec, &hreport.device, tenants, degraded_at, obs, slo_tracks)
         }
+    }
+}
+
+/// Distill the device's tracer state into its observability capture.
+fn collect_obs(ssd: &Ssd, tcfg: &FleetTelemetryConfig) -> DeviceObservability {
+    let tracer = ssd.tracer();
+    DeviceObservability {
+        window_ns: tcfg.window_ns,
+        gauges: tracer
+            .registry()
+            .series()
+            .map(|(name, ts)| (name.to_string(), ts.clone()))
+            .collect(),
+        dropped_events: tracer.dropped_events(),
+        profile: tcfg
+            .record_spans
+            .then(|| SpanProfile::from_spans(&cagc_trace::from_tracer(tracer).spans)),
     }
 }
 
@@ -311,9 +379,10 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
 /// request the dead device can no longer serve are attributed to their
 /// tenants as failed ops, and the device reports what it completed.
 fn replay_direct(
-    mut ssd: Ssd,
+    ssd: &mut Ssd,
     spec: &DeviceSpec,
     tenants: &mut [TenantReport],
+    mut slo: Option<&mut [TenantSloTrack]>,
 ) -> (RunReport, Option<Nanos>) {
     // Namespace layout identical to interleave_n: tenant i owns
     // [offsets[i], offsets[i] + pages_i).
@@ -342,7 +411,11 @@ fn replay_direct(
         let req = Request { lpn: r.lpn + offsets[i], ..r.clone() };
         match ssd.process_status(&req) {
             Ok(c) => {
-                tenants[i].hist.record(c.end_ns.saturating_sub(req.at_ns));
+                let lat = c.end_ns.saturating_sub(req.at_ns);
+                tenants[i].hist.record(lat);
+                if let Some(tracks) = slo.as_deref_mut() {
+                    tracks[i].record(c.end_ns, lat);
+                }
                 if !c.status.is_ok() {
                     tenants[i].failed_ops += 1;
                     if c.status == CmdStatus::WriteProtected {
@@ -394,6 +467,8 @@ mod tests {
             faults: FaultConfig::none(),
             gc_preempt: false,
             read_only_floor_blocks: None,
+            telemetry: None,
+            slo: None,
         }
     }
 
@@ -444,6 +519,8 @@ mod tests {
             // trips read-only, long before erase failures can bleed the
             // GC reserve dry.
             read_only_floor_blocks: Some(32),
+            telemetry: None,
+            slo: None,
         }
     }
 
@@ -525,5 +602,61 @@ mod tests {
         assert!(rep.waf() > 0.0);
         let j = rep.to_json().render();
         assert!(j.contains("\"tenants\"") && j.contains("Mail[0]"));
+    }
+
+    /// Arming telemetry must not perturb the simulation: every core
+    /// counter and latency figure matches the unobserved cell, only the
+    /// observability capture is new.
+    #[test]
+    fn telemetry_capture_leaves_core_results_untouched() {
+        for hq in [None, Some((2, 8))] {
+            let plain = simulate_device(&spec(hq));
+            let mut s = spec(hq);
+            s.telemetry = Some(FleetTelemetryConfig::gauges_only(1_000_000, 1));
+            let observed = simulate_device(&s);
+            assert_eq!(plain.end_ns, observed.end_ns);
+            assert_eq!(plain.erases, observed.erases);
+            assert_eq!(plain.lat.p99_ns, observed.lat.p99_ns);
+            assert_eq!(plain.totals.total_programs, observed.totals.total_programs);
+            let obs = observed.obs.as_ref().expect("armed cell must capture gauges");
+            assert!(!obs.gauges.is_empty());
+            assert_eq!(obs.dropped_events, 0, "gauges-only mode never drops events");
+            assert!(obs.profile.is_none());
+            // Pay-as-you-go JSON: only the armed cell carries the key.
+            assert!(!plain.to_json().render().contains("\"telemetry\""));
+            assert!(observed.to_json().render().contains("\"telemetry\""));
+        }
+    }
+
+    #[test]
+    fn traced_telemetry_yields_a_profile() {
+        let mut s = spec(None);
+        s.telemetry = Some(FleetTelemetryConfig::traced(1_000_000, 1));
+        let rep = simulate_device(&s);
+        let obs = rep.obs.as_ref().unwrap();
+        let profile = obs.profile.as_ref().expect("record_spans must produce a profile");
+        assert!(!profile.is_empty());
+        assert!(rep.to_json().render().contains("profiled_buckets"));
+    }
+
+    /// SLO ledgers see exactly the per-tenant completions, and the
+    /// counters obey the objective arithmetic.
+    #[test]
+    fn slo_tracking_counts_every_completion() {
+        for hq in [None, Some((2, 8))] {
+            let mut s = spec(hq);
+            s.slo = Some(SloConfig::uniform(1, 900, 1_000_000));
+            let rep = simulate_device(&s);
+            let tracks = rep.slo.as_ref().expect("armed cell must track SLOs");
+            assert_eq!(tracks.len(), rep.tenants.len());
+            for (track, tenant) in tracks.iter().zip(&rep.tenants) {
+                assert_eq!(track.tenant, tenant.tenant);
+                assert_eq!(track.requests, tenant.hist.count());
+                // A 1ns objective is unmeetable: every request violates.
+                assert_eq!(track.violations, track.requests);
+                assert!(!track.met());
+            }
+            assert!(rep.to_json().render().contains("\"slo_met\":false"));
+        }
     }
 }

@@ -8,7 +8,9 @@ use cagc_harness::pool::map_ordered_dynamic_chunked;
 use crate::device::{simulate_device, DeviceSpec, TenantTrace};
 use crate::library::TraceLibrary;
 use crate::mix::TenantMix;
+use crate::observe::FleetTelemetryConfig;
 use crate::report::FleetReport;
+use crate::slo::SloConfig;
 
 /// Everything that determines a fleet run. Two equal configs produce
 /// byte-identical [`FleetReport`]s at any worker count.
@@ -54,6 +56,14 @@ pub struct FleetConfig {
     /// Per-device read-only floor override (`None` keeps the device
     /// default); see [`DeviceSpec::read_only_floor_blocks`].
     pub read_only_floor_blocks: Option<u32>,
+    /// Arm every device's telemetry (gauge registries, optionally span
+    /// profiles) and roll them up into the fleet timeline and merged
+    /// profile. `None` keeps the report byte-identical to an unobserved
+    /// fleet.
+    pub telemetry: Option<FleetTelemetryConfig>,
+    /// Track per-tenant latency SLOs on every device and roll the
+    /// ledgers up per (mix, tenant). `None` records nothing.
+    pub slo: Option<SloConfig>,
 }
 
 impl FleetConfig {
@@ -75,6 +85,8 @@ impl FleetConfig {
             faults: FaultConfig::none(),
             gc_preempt: false,
             read_only_floor_blocks: None,
+            telemetry: None,
+            slo: None,
         }
     }
 }
@@ -125,6 +137,8 @@ fn build_specs(cfg: &FleetConfig, lib: &mut TraceLibrary) -> Vec<DeviceSpec> {
                 faults,
                 gc_preempt: cfg.gc_preempt,
                 read_only_floor_blocks: cfg.read_only_floor_blocks,
+                telemetry: cfg.telemetry.clone(),
+                slo: cfg.slo.clone(),
             }
         })
         .collect()
@@ -269,6 +283,67 @@ mod tests {
             let got = run_fleet(&cfg).to_json().render();
             assert_eq!(got, baseline, "workers={workers} changed the chaos fleet report");
         }
+    }
+
+    /// A fully-observed fleet (span-recording telemetry + SLO tracking)
+    /// must stay byte-identical at every worker count: the timeline CSV,
+    /// the merged profile, and the SLO rollups are pure folds in device
+    /// order.
+    #[test]
+    fn observed_fleet_is_byte_identical_across_worker_counts() {
+        use cagc_harness::ToJson;
+        let mut cfg = FleetConfig::small_test();
+        cfg.telemetry = Some(FleetTelemetryConfig::traced(1_000_000, 1));
+        cfg.slo = Some(SloConfig::uniform(200_000, 900, 1_000_000));
+        let base = run_fleet(&cfg);
+        let base_json = base.to_json().render();
+        let base_csv = base.timeline_csv().expect("observed fleet must emit a timeline");
+        let base_flame = base.profile.as_ref().unwrap().flamegraph();
+        assert!(base_json.contains("\"observability\"") && base_json.contains("\"slo\""));
+        assert!(base_csv.contains("dev000/") && base_csv.contains("fleet/"));
+        assert!(base_csv.contains("slo/"));
+        for workers in [2usize, 5] {
+            cfg.workers = workers;
+            let got = run_fleet(&cfg);
+            assert_eq!(got.to_json().render(), base_json, "workers={workers} changed the report");
+            assert_eq!(got.timeline_csv().unwrap(), base_csv, "workers={workers} changed the CSV");
+            assert_eq!(
+                got.profile.as_ref().unwrap().flamegraph(),
+                base_flame,
+                "workers={workers} changed the merged profile"
+            );
+        }
+    }
+
+    /// Telemetry and SLO tracking must not perturb the simulation: the
+    /// core rollups of an observed fleet match the unobserved one, and
+    /// an unobserved fleet emits no observability artifacts at all.
+    #[test]
+    fn observability_leaves_core_rollups_untouched() {
+        use cagc_harness::ToJson;
+        let cfg = FleetConfig::small_test();
+        let plain = run_fleet(&cfg);
+        let mut ocfg = cfg.clone();
+        ocfg.telemetry = Some(FleetTelemetryConfig::gauges_only(1_000_000, 1));
+        ocfg.slo = Some(SloConfig::uniform(200_000, 900, 1_000_000));
+        let observed = run_fleet(&ocfg);
+        assert_eq!(plain.fleet.total_programs, observed.fleet.total_programs);
+        assert_eq!(plain.fleet.total_erases, observed.fleet.total_erases);
+        assert_eq!(plain.by_tenant.len(), observed.by_tenant.len());
+        for (a, b) in plain.by_tenant.iter().zip(&observed.by_tenant) {
+            assert_eq!(a.lat().p99_ns, b.lat().p99_ns, "SLO tracking changed {}", a.tenant);
+        }
+        // Pay-as-you-go: the unobserved report has no trace of the plane.
+        assert!(plain.timeline.is_none() && plain.profile.is_none() && plain.slo.is_none());
+        assert!(plain.timeline_csv().is_none());
+        let j = plain.to_json().render();
+        assert!(!j.contains("\"observability\"") && !j.contains("\"slo\""));
+        assert!(!plain.render().contains("observability:"));
+        // …while the observed one carries the rollups.
+        assert!(observed.timeline.is_some());
+        assert!(observed.slo.as_ref().is_some_and(|s| !s.is_empty()));
+        assert!(observed.render().contains("observability:"));
+        assert!(observed.render().contains("slo "));
     }
 
     #[test]

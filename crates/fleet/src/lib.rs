@@ -41,10 +41,14 @@ pub mod device;
 pub mod fleet;
 pub mod library;
 pub mod mix;
+pub mod observe;
 pub mod report;
+pub mod slo;
 
 pub use device::{simulate_device, DeviceReport, DeviceSpec, TenantReport, TenantTrace};
 pub use fleet::{run_fleet, FleetConfig};
 pub use library::TraceLibrary;
 pub use mix::{TenantMix, TenantSpec};
+pub use observe::{DeviceObservability, FleetTelemetryConfig, FleetTimeline};
 pub use report::FleetReport;
+pub use slo::{SloConfig, TenantSloTrack};

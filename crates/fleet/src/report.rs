@@ -12,8 +12,11 @@ use cagc_core::{LatencySummary, TrafficTotals};
 use cagc_harness::{Json, ToJson};
 use cagc_metrics::Histogram;
 use cagc_sim::time::Nanos;
+use cagc_trace::SpanProfile;
 
 use crate::device::DeviceReport;
+use crate::observe::{self, DeviceObservability, FleetTimeline};
+use crate::slo::TenantSloTrack;
 
 /// Rollup over every device serving one tenant mix.
 #[derive(Debug, Clone)]
@@ -97,6 +100,28 @@ impl ToJson for TenantSummary {
     }
 }
 
+/// One (mix, tenant) SLO rollup: every device's ledger for that tenant
+/// merged exactly (integer accumulators, device order).
+#[derive(Debug, Clone)]
+pub struct TenantSloSummary {
+    /// Mix name.
+    pub mix: String,
+    /// The merged ledger (objective, counters, windowed indicator).
+    pub track: TenantSloTrack,
+}
+
+impl ToJson for TenantSloSummary {
+    fn to_json(&self) -> Json {
+        match self.track.to_json() {
+            Json::Obj(mut fields) => {
+                fields.insert(0, ("mix".to_string(), Json::Str(self.mix.clone())));
+                Json::Obj(fields)
+            }
+            other => other,
+        }
+    }
+}
+
 /// The full fleet result: per-device reports plus the rollups.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
@@ -126,6 +151,16 @@ pub struct FleetReport {
     /// Summed traffic counters over the surviving (non-read-only)
     /// devices — what capacity the fleet still has after degradation.
     pub survivor_totals: TrafficTotals,
+    /// Time-resolved fleet view (per-device gauges namespaced
+    /// `dev{id:03}/…`, exact `fleet/…` merges, degraded-device step).
+    /// Only observed fleets carry it.
+    pub timeline: Option<FleetTimeline>,
+    /// Merged span profile across every traced device. Only fleets with
+    /// span-recording telemetry carry it.
+    pub profile: Option<SpanProfile>,
+    /// Per-(mix, tenant) SLO rollups, first-appearance order. Only
+    /// SLO-tracking fleets carry it.
+    pub slo: Option<Vec<TenantSloSummary>>,
 }
 
 impl FleetReport {
@@ -206,6 +241,39 @@ impl FleetReport {
                 entry.hist.merge(&t.hist);
             }
         }
+        // Observability rollups: pure folds over the per-device
+        // captures, in device order.
+        let obs_devices: Vec<(u32, &DeviceObservability)> =
+            devices.iter().filter_map(|d| d.obs.as_ref().map(|o| (d.device, o))).collect();
+        let degraded_instants: Vec<u64> =
+            devices.iter().filter_map(|d| d.degraded_at_ns).collect();
+        let timeline = FleetTimeline::build(&obs_devices, &degraded_instants);
+        let mut profile: Option<SpanProfile> = None;
+        for (_, o) in &obs_devices {
+            if let Some(p) = &o.profile {
+                match &mut profile {
+                    Some(m) => m.merge(p),
+                    None => profile = Some(p.clone()),
+                }
+            }
+        }
+        let mut slo_rollup: Vec<TenantSloSummary> = Vec::new();
+        let mut slo_armed = false;
+        for dev in &devices {
+            if let Some(tracks) = &dev.slo {
+                slo_armed = true;
+                for t in tracks {
+                    match slo_rollup
+                        .iter_mut()
+                        .find(|s| s.mix == dev.mix && s.track.tenant == t.tenant)
+                    {
+                        Some(s) => s.track.merge(t),
+                        None => slo_rollup
+                            .push(TenantSloSummary { mix: dev.mix.clone(), track: t.clone() }),
+                    }
+                }
+            }
+        }
         Self {
             devices,
             fleet,
@@ -218,7 +286,38 @@ impl FleetReport {
             first_degradation_ns: first_degradation,
             failed_ops,
             survivor_totals,
+            timeline,
+            profile,
+            slo: slo_armed.then_some(slo_rollup),
         }
+    }
+
+    /// Events dropped across every observed device's tracer.
+    pub fn dropped_events(&self) -> u64 {
+        self.devices.iter().filter_map(|d| d.obs.as_ref()).map(|o| o.dropped_events).sum()
+    }
+
+    /// The time-resolved observability artifact: every timeline series
+    /// plus one `slo/{mix}/{tenant}` violation-rate series per SLO
+    /// rollup, one row per non-empty window. `None` when neither
+    /// telemetry nor SLO tracking was armed.
+    pub fn timeline_csv(&self) -> Option<String> {
+        if self.timeline.is_none() && self.slo.is_none() {
+            return None;
+        }
+        let mut out = String::from("series,start_ns,count,mean,max\n");
+        if let Some(tl) = &self.timeline {
+            for (name, ts) in &tl.series {
+                observe::push_csv_rows(&mut out, name, ts);
+            }
+        }
+        if let Some(slo) = &self.slo {
+            for s in slo {
+                let name = format!("slo/{}/{}", s.mix, s.track.tenant);
+                observe::push_csv_rows(&mut out, &name, &s.track.series);
+            }
+        }
+        Some(out)
     }
 
     /// Fleet-wide write amplification (summed counters).
@@ -318,6 +417,34 @@ impl FleetReport {
                 m.totals.dedup_hit_rate()
             ));
         }
+        // Pay-as-you-go: unobserved fleets print none of these lines.
+        if let Some(tl) = &self.timeline {
+            let fleet_series = tl.series.iter().filter(|(n, _)| n.starts_with("fleet/")).count();
+            out.push_str(&format!(
+                "\n\x20 observability: {} timeline series ({} fleet-merged), {} events dropped",
+                tl.series.len(),
+                fleet_series,
+                self.dropped_events()
+            ));
+            if let Some(p) = &self.profile {
+                out.push_str(&format!(", {} profile buckets", p.rows().len()));
+            }
+        }
+        if let Some(slo) = &self.slo {
+            for s in slo {
+                let t = &s.track;
+                out.push_str(&format!(
+                    "\n\x20 slo {}/{}: {}/1000 compliant (goal {}), burn {}m, worst window {}/1000 — {}",
+                    s.mix,
+                    t.tenant,
+                    t.compliance_permille(),
+                    t.goal_permille,
+                    t.burn_rate_milli(),
+                    t.worst_window_permille(),
+                    if t.met() { "met" } else { "VIOLATED" }
+                ));
+            }
+        }
         out
     }
 }
@@ -353,6 +480,23 @@ impl ToJson for FleetReport {
             }
             fields.push(("failed_ops", Json::U64(self.failed_ops)));
             fields.push(("survivor_totals", self.survivor_totals.to_json()));
+        }
+        // Observability section: only observed fleets pay for it. The
+        // full gauge windows live in the timeline CSV artifact; the JSON
+        // carries the compact summary plus the merged profile.
+        if self.timeline.is_some() || self.profile.is_some() {
+            let mut o: Vec<(&'static str, Json)> = Vec::new();
+            o.push(("dropped_events", Json::U64(self.dropped_events())));
+            if let Some(tl) = &self.timeline {
+                o.push(("timeline", tl.to_json()));
+            }
+            if let Some(p) = &self.profile {
+                o.push(("profile", p.to_json()));
+            }
+            fields.push(("observability", Json::obj(o)));
+        }
+        if let Some(slo) = &self.slo {
+            fields.push(("slo", Json::Arr(slo.iter().map(|s| s.to_json()).collect())));
         }
         fields
             .push(("per_device", Json::Arr(self.devices.iter().map(|d| d.to_json()).collect())));

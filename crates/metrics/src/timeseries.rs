@@ -68,6 +68,39 @@ impl TimeSeries {
         slot.2 = slot.2.max(value);
     }
 
+    /// Fold `other` into this series, window by window: counts and sums
+    /// add, maxima take the max. Exact — merging operates on the raw
+    /// integer accumulators, never on the derived float means, so a
+    /// fleet-level merge is byte-deterministic regardless of how many
+    /// devices contribute or in what order their samples were recorded.
+    ///
+    /// # Panics
+    /// Panics if the window widths differ (windows would not line up).
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.window_ns, other.window_ns,
+            "cannot merge series with different window widths"
+        );
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), (0, 0, 0));
+        }
+        for (dst, src) in self.slots.iter_mut().zip(&other.slots) {
+            dst.0 += src.0;
+            dst.1 += src.1;
+            dst.2 = dst.2.max(src.2);
+        }
+    }
+
+    /// Total samples recorded across all windows.
+    pub fn sample_count(&self) -> u64 {
+        self.slots.iter().map(|&(c, _, _)| c).sum()
+    }
+
+    /// Sum of all recorded values across all windows.
+    pub fn sample_sum(&self) -> u128 {
+        self.slots.iter().map(|&(_, s, _)| s).sum()
+    }
+
     /// Aggregated windows, ascending in time (empty windows skipped).
     pub fn windows(&self) -> Vec<Window> {
         self.slots
@@ -247,5 +280,33 @@ mod tests {
     #[should_panic(expected = "zero-width")]
     fn zero_window_rejected() {
         TimeSeries::new(0);
+    }
+
+    #[test]
+    fn merge_is_exact_and_order_independent() {
+        let mut a = TimeSeries::new(100);
+        a.record(50, 10);
+        a.record(250, 4);
+        let mut b = TimeSeries::new(100);
+        b.record(60, 20);
+        b.record(950, 7);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.to_csv(), ba.to_csv());
+        let w = ab.windows();
+        assert_eq!(w[0].count, 2);
+        assert!((w[0].mean - 15.0).abs() < 1e-12);
+        assert_eq!(w[0].max, 20);
+        assert_eq!(ab.sample_count(), 4);
+        assert_eq!(ab.sample_sum(), 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window widths")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = TimeSeries::new(100);
+        a.merge(&TimeSeries::new(200));
     }
 }

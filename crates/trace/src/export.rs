@@ -162,6 +162,25 @@ pub fn chrome_trace(tracer: &Tracer, channels: u32) -> Json {
         }
     }
 
+    // Truncation marker: hitting the event cap silently skews every
+    // downstream analysis, so the drop count rides in the document as a
+    // metadata event on the FTL process.
+    if tracer.dropped_events() > 0 {
+        events.push(Json::obj([
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::U64(ftl)),
+            ("tid", Json::U64(0)),
+            ("name", Json::Str("dropped_events".into())),
+            (
+                "args",
+                Json::Obj(vec![(
+                    "dropped_events".into(),
+                    Json::U64(tracer.dropped_events()),
+                )]),
+            ),
+        ]));
+    }
+
     Json::obj([
         ("traceEvents", Json::Arr(events)),
         ("displayTimeUnit", Json::Str("ns".into())),
@@ -224,6 +243,18 @@ pub fn jsonl(tracer: &Tracer) -> String {
             out.push_str(&line.render());
             out.push('\n');
         }
+    }
+    // Trailer line when the bounded-memory guard truncated the recording,
+    // so scripts reading the log can tell a complete trace from a capped
+    // one without consulting the run report.
+    if tracer.dropped_events() > 0 {
+        let line = Json::obj([
+            ("track", Json::Str("meta".into())),
+            ("name", Json::Str("dropped_events".into())),
+            ("dropped_events", Json::U64(tracer.dropped_events())),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
     }
     out
 }
@@ -296,6 +327,27 @@ mod tests {
         assert!(text.contains(r#""cat":"queue","ph":"X","ts":1,"dur":1,"pid":2,"tid":5"#));
         let line = jsonl(&t);
         assert!(line.contains(r#""track":"queue","pair":1"#));
+    }
+
+    #[test]
+    fn dropped_events_surface_in_both_exports() {
+        let mut t = Tracer::enabled(TraceConfig { max_events: 1, ..TraceConfig::default() });
+        t.instant(Track::Gc, "tick", 0, &[]);
+        t.instant(Track::Gc, "tick", 1, &[]);
+        t.instant(Track::Gc, "tick", 2, &[]);
+        assert_eq!(t.dropped_events(), 2);
+        let chrome = chrome_trace(&t, 2).render();
+        assert!(chrome.contains(r#""name":"dropped_events","args":{"dropped_events":2}"#));
+        let log = jsonl(&t);
+        let trailer = log.lines().last().unwrap();
+        assert_eq!(
+            trailer,
+            r#"{"track":"meta","name":"dropped_events","dropped_events":2}"#
+        );
+        // No truncation ⇒ no marker anywhere.
+        let clean = sample_tracer();
+        assert!(!chrome_trace(&clean, 2).render().contains("dropped_events"));
+        assert!(!jsonl(&clean).contains("dropped_events"));
     }
 
     #[test]

@@ -23,14 +23,20 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod anatomy;
 pub mod event;
 pub mod export;
+pub mod parse;
+pub mod profile;
 pub mod registry;
 pub mod report;
 pub mod tracer;
 
+pub use anatomy::{GcAnatomy, PhaseStat, GC_PHASES};
 pub use event::{Event, EventKind, Track};
 pub use export::{chrome_trace, jsonl};
+pub use parse::{from_tracer, parse_jsonl, ParsedTrace, SpanRec};
+pub use profile::{ProfileRow, SpanProfile};
 pub use registry::GaugeRegistry;
 pub use report::TelemetryReport;
 pub use tracer::{TraceConfig, Tracer};

@@ -1,0 +1,576 @@
+//! Span profiler: fold a recorded span stream into a hierarchical
+//! profile — per phase: call count, total and self simulated time, and
+//! min/p50/p99/max span duration — with deterministic CSV/JSON exports
+//! and a collapsed-stack flamegraph text format.
+//!
+//! ## Hierarchy model
+//!
+//! Spans on [`Track::Gc`] and [`Track::Host`] are **containers**
+//! (`gc_round`, `gc_slice`, host `read`/`write`/`trim`); every other
+//! span, and every instant, is a **leaf**. A leaf is attributed to the
+//! latest-starting container whose interval contains the leaf's start,
+//! searched first among containers on the leaf's preferred track — GC
+//! for the GC pipeline names (`migrate_read`, `migrate_write`, `erase`,
+//! `fingerprint`) and everything recorded on the GC track, host for the
+//! rest — then among all containers, falling back to a root bucket.
+//! Containers are reported flat (one bucket per `track/name`); their
+//! self time subtracts the union of attributed leaves *and* of
+//! containers fully nested inside them.
+//!
+//! Every rule is a pure function of the recorded intervals, so two
+//! identical recordings — or the same recording analyzed live vs. after
+//! a JSONL round-trip — profile to identical bytes.
+
+use std::collections::BTreeMap;
+
+use cagc_harness::{Json, ToJson};
+
+use crate::event::Track;
+use crate::parse::SpanRec;
+
+/// Merge-union a set of closed intervals; returns the merged list,
+/// sorted and disjoint.
+pub(crate) fn union(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.retain(|&(s, e)| e > s);
+    v.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(v.len());
+    for (s, e) in v {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of a disjoint interval list.
+pub(crate) fn total_len(v: &[(u64, u64)]) -> u64 {
+    v.iter().map(|&(s, e)| e - s).sum()
+}
+
+/// Intersection of two disjoint sorted interval lists.
+pub(crate) fn intersect(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        let s = a[i].0.max(b[j].0);
+        let e = a[i].1.min(b[j].1);
+        if e > s {
+            out.push((s, e));
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// `a` minus `b`, both disjoint and sorted.
+pub(crate) fn subtract(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &(s, e) in a {
+        let mut cur = s;
+        while j < b.len() && b[j].1 <= cur {
+            j += 1;
+        }
+        let mut k = j;
+        while k < b.len() && b[k].0 < e {
+            if b[k].0 > cur {
+                out.push((cur, b[k].0));
+            }
+            cur = cur.max(b[k].1);
+            k += 1;
+        }
+        if cur < e {
+            out.push((cur, e));
+        }
+    }
+    out
+}
+
+fn category(track: Track) -> &'static str {
+    match track {
+        Track::Die { .. } => "flash",
+        Track::Host => "host",
+        Track::Gc => "gc",
+        Track::Hash => "hash",
+        Track::Fault => "fault",
+        Track::Queue { .. } => "queue",
+    }
+}
+
+/// Names the GC context stamps on die/hash spans: these leaves attach to
+/// GC containers even when an overlapping host span also contains them.
+fn prefers_gc(rec: &SpanRec) -> bool {
+    rec.track == Track::Gc
+        || matches!(rec.name.as_str(), "migrate_read" | "migrate_write" | "erase" | "fingerprint")
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Bucket {
+    calls: u64,
+    total_ns: u64,
+    self_ns: u64,
+    durs: Vec<u64>,
+}
+
+/// One exported profile row (a bucket with its duration statistics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Slash-separated bucket path (`gc/gc_round/migrate_read`).
+    pub path: String,
+    /// Spans/instants folded into the bucket.
+    pub calls: u64,
+    /// Sum of span durations (instants contribute zero).
+    pub total_ns: u64,
+    /// Total minus the union of child intervals (equals `total_ns` for
+    /// leaves).
+    pub self_ns: u64,
+    /// Shortest span.
+    pub min_ns: u64,
+    /// Median span (nearest-rank).
+    pub p50_ns: u64,
+    /// 99th-percentile span (nearest-rank).
+    pub p99_ns: u64,
+    /// Longest span.
+    pub max_ns: u64,
+}
+
+/// A mergeable hierarchical span profile.
+///
+/// Buckets keep their raw duration samples so profiles from many devices
+/// merge exactly: quantiles are computed over the merged (sorted) sample
+/// set at export time, making every output independent of merge order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanProfile {
+    buckets: BTreeMap<String, Bucket>,
+}
+
+/// Nearest-rank percentile over a sorted sample set.
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (p * (sorted.len() as u64 - 1) + 50) / 100;
+    sorted[idx as usize]
+}
+
+impl SpanProfile {
+    /// Fold a record stream into a profile.
+    pub fn from_spans(spans: &[SpanRec]) -> Self {
+        // Containers, as (start, end, rec index), in (start, idx) order.
+        let mut containers: Vec<(u64, u64, usize)> = spans
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_span() && matches!(r.track, Track::Gc | Track::Host))
+            .map(|(i, r)| (r.ts_ns(), r.ts_ns() + r.dur_ns(), i))
+            .collect();
+        containers.sort_unstable_by_key(|&(s, e, i)| (s, std::cmp::Reverse(e), i));
+        // Prefix maxima of ends bound the backward containment search.
+        let mut prefix_max_end: Vec<u64> = Vec::with_capacity(containers.len());
+        let mut run = 0u64;
+        for &(_, e, _) in &containers {
+            run = run.max(e);
+            prefix_max_end.push(run);
+        }
+        // Positions (into `containers`) of each track's containers, for
+        // the preferred-track search.
+        let gc_pos: Vec<usize> = (0..containers.len())
+            .filter(|&p| spans[containers[p].2].track == Track::Gc)
+            .collect();
+        let host_pos: Vec<usize> = (0..containers.len())
+            .filter(|&p| spans[containers[p].2].track == Track::Host)
+            .collect();
+        let mut gc_max_end = Vec::with_capacity(gc_pos.len());
+        run = 0;
+        for &p in &gc_pos {
+            run = run.max(containers[p].1);
+            gc_max_end.push(run);
+        }
+        let mut host_max_end = Vec::with_capacity(host_pos.len());
+        run = 0;
+        for &p in &host_pos {
+            run = run.max(containers[p].1);
+            host_max_end.push(run);
+        }
+
+        // Latest-starting container containing `ts` within a sorted
+        // position subset (`None` = all containers).
+        let find = |subset: Option<(&[usize], &[u64])>, ts: u64| -> Option<usize> {
+            match subset {
+                None => {
+                    let hi = containers.partition_point(|&(s, _, _)| s <= ts);
+                    (0..hi).rev().find_map(|k| {
+                        if prefix_max_end[k] < ts {
+                            return Some(None); // nothing earlier can reach ts
+                        }
+                        (containers[k].1 >= ts).then_some(Some(containers[k].2))
+                    })?
+                }
+                Some((pos, max_end)) => {
+                    let hi = pos.partition_point(|&p| containers[p].0 <= ts);
+                    (0..hi).rev().find_map(|k| {
+                        if max_end[k] < ts {
+                            return Some(None);
+                        }
+                        (containers[pos[k]].1 >= ts).then_some(Some(containers[pos[k]].2))
+                    })?
+                }
+            }
+        };
+
+        // Per container instance: the child intervals its self time
+        // excludes (attributed leaves + directly nested containers).
+        let mut children: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
+        let mut profile = SpanProfile::default();
+
+        // Nested containers: stack sweep over (start asc, end desc) order
+        // finds each container's immediate enclosing container.
+        let mut stack: Vec<usize> = Vec::new();
+        for k in 0..containers.len() {
+            let (s, e, idx) = containers[k];
+            while let Some(&top) = stack.last() {
+                let (_, te, _) = containers[top];
+                if te < e {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&top) = stack.last() {
+                let (ps, pe, pidx) = containers[top];
+                children.entry(pidx).or_default().push((s.max(ps), e.min(pe)));
+            }
+            stack.push(k);
+            let rec = &spans[idx];
+            profile.add(
+                format!("{}/{}", category(rec.track), rec.name),
+                rec.dur_ns(),
+                0, // self filled in below
+            );
+        }
+
+        // Leaves: attribute, bucket, and feed the parent's child list.
+        for rec in spans {
+            let is_container =
+                rec.is_span() && matches!(rec.track, Track::Gc | Track::Host);
+            if is_container {
+                continue;
+            }
+            let ts = rec.ts_ns();
+            let preferred = if prefers_gc(rec) {
+                find(Some((&gc_pos, &gc_max_end)), ts)
+            } else {
+                find(Some((&host_pos, &host_max_end)), ts)
+            };
+            let owner = preferred.or_else(|| find(None, ts));
+            let path = match owner {
+                Some(idx) => {
+                    let c = &spans[idx];
+                    let (cs, ce) = (c.ts_ns(), c.ts_ns() + c.dur_ns());
+                    let (ls, le) = (ts, ts + rec.dur_ns());
+                    if le > ls {
+                        children
+                            .entry(idx)
+                            .or_default()
+                            .push((ls.max(cs), le.min(ce)));
+                    }
+                    format!("{}/{}/{}", category(c.track), c.name, rec.name)
+                }
+                None => format!("{}/{}", category(rec.track), rec.name),
+            };
+            let dur = rec.dur_ns();
+            profile.add(path, dur, dur);
+        }
+
+        // Container self times: duration minus covered-by-children.
+        for &(s, e, idx) in &containers {
+            let covered = children
+                .remove(&idx)
+                .map(|ivs| total_len(&union(ivs)))
+                .unwrap_or(0);
+            let rec = &spans[idx];
+            let path = format!("{}/{}", category(rec.track), rec.name);
+            let slf = (e - s).saturating_sub(covered);
+            if let Some(b) = profile.buckets.get_mut(&path) {
+                b.self_ns += slf;
+            }
+        }
+        profile
+    }
+
+    fn add(&mut self, path: String, dur_ns: u64, self_ns: u64) {
+        let b = self.buckets.entry(path).or_default();
+        b.calls += 1;
+        b.total_ns += dur_ns;
+        b.self_ns += self_ns;
+        b.durs.push(dur_ns);
+    }
+
+    /// Fold `other` into this profile. Exact: counts and times add,
+    /// duration samples concatenate (and are re-sorted at export), so the
+    /// result is independent of merge order.
+    pub fn merge(&mut self, other: &SpanProfile) {
+        for (path, src) in &other.buckets {
+            let dst = self.buckets.entry(path.clone()).or_default();
+            dst.calls += src.calls;
+            dst.total_ns += src.total_ns;
+            dst.self_ns += src.self_ns;
+            dst.durs.extend_from_slice(&src.durs);
+        }
+    }
+
+    /// True when no span was folded in.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Exported rows in bucket-path order.
+    pub fn rows(&self) -> Vec<ProfileRow> {
+        self.buckets
+            .iter()
+            .map(|(path, b)| {
+                let mut durs = b.durs.clone();
+                durs.sort_unstable();
+                ProfileRow {
+                    path: path.clone(),
+                    calls: b.calls,
+                    total_ns: b.total_ns,
+                    self_ns: b.self_ns,
+                    min_ns: durs.first().copied().unwrap_or(0),
+                    p50_ns: percentile(&durs, 50),
+                    p99_ns: percentile(&durs, 99),
+                    max_ns: durs.last().copied().unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+
+    /// CSV export (`path,calls,total_ns,self_ns,min_ns,p50_ns,p99_ns,max_ns`),
+    /// rows in path order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("path,calls,total_ns,self_ns,min_ns,p50_ns,p99_ns,max_ns\n");
+        for r in self.rows() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                r.path, r.calls, r.total_ns, r.self_ns, r.min_ns, r.p50_ns, r.p99_ns, r.max_ns
+            ));
+        }
+        out
+    }
+
+    /// Collapsed-stack flamegraph text: one `a;b;c self_ns` line per
+    /// bucket with nonzero self time, in path order. Feed to any
+    /// flamegraph renderer.
+    pub fn flamegraph(&self) -> String {
+        let mut out = String::new();
+        for r in self.rows() {
+            if r.self_ns == 0 {
+                continue;
+            }
+            out.push_str(&format!("{} {}\n", r.path.replace('/', ";"), r.self_ns));
+        }
+        out
+    }
+
+    /// Human-readable table sorted by total time (descending, then path).
+    pub fn render(&self) -> String {
+        let mut rows = self.rows();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.path.cmp(&b.path)));
+        let mut out = String::from(
+            "span profile (simulated ns)\n  path                                     calls      total       self        p50        p99\n",
+        );
+        for r in &rows {
+            out.push_str(&format!(
+                "  {:<40} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+                r.path, r.calls, r.total_ns, r.self_ns, r.p50_ns, r.p99_ns
+            ));
+        }
+        out
+    }
+}
+
+impl ToJson for ProfileRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("path", Json::Str(self.path.clone())),
+            ("calls", Json::U64(self.calls)),
+            ("total_ns", Json::U64(self.total_ns)),
+            ("self_ns", Json::U64(self.self_ns)),
+            ("min_ns", Json::U64(self.min_ns)),
+            ("p50_ns", Json::U64(self.p50_ns)),
+            ("p99_ns", Json::U64(self.p99_ns)),
+            ("max_ns", Json::U64(self.max_ns)),
+        ])
+    }
+}
+
+impl ToJson for SpanProfile {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "buckets",
+            Json::Arr(self.rows().iter().map(ToJson::to_json).collect()),
+        )])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn span(track: Track, name: &str, start: u64, end: u64) -> SpanRec {
+        SpanRec {
+            track,
+            name: name.to_string(),
+            kind: EventKind::Span { start_ns: start, end_ns: end },
+            args: Vec::new(),
+        }
+    }
+
+    fn instant(track: Track, name: &str, at: u64) -> SpanRec {
+        SpanRec {
+            track,
+            name: name.to_string(),
+            kind: EventKind::Instant { at_ns: at },
+            args: Vec::new(),
+        }
+    }
+
+    fn die(name: &str, start: u64, end: u64) -> SpanRec {
+        span(Track::Die { channel: 0, die: 0 }, name, start, end)
+    }
+
+    #[test]
+    fn interval_algebra_is_exact() {
+        let u = union(vec![(5, 10), (0, 3), (9, 12), (12, 12)]);
+        assert_eq!(u, vec![(0, 3), (5, 12)]);
+        assert_eq!(total_len(&u), 10);
+        assert_eq!(intersect(&u, &[(2, 6)]), vec![(2, 3), (5, 6)]);
+        assert_eq!(subtract(&u, &[(1, 2), (6, 20)]), vec![(0, 1), (2, 3), (5, 6)]);
+        assert_eq!(subtract(&[(0, 10)], &[]), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn known_nesting_gives_exact_self_and_total() {
+        // gc_round [0,100] containing migrate_read [10,30], erase [20,60]
+        // (overlapping children: union covers [10,60] = 50 ⇒ self = 50).
+        let spans = vec![
+            span(Track::Gc, "gc_round", 0, 100),
+            die("migrate_read", 10, 30),
+            die("erase", 20, 60),
+        ];
+        let p = SpanProfile::from_spans(&spans);
+        let rows = p.rows();
+        let by_path = |q: &str| rows.iter().find(|r| r.path == q).unwrap().clone();
+        let round = by_path("gc/gc_round");
+        assert_eq!(round.calls, 1);
+        assert_eq!(round.total_ns, 100);
+        assert_eq!(round.self_ns, 50);
+        let read = by_path("gc/gc_round/migrate_read");
+        assert_eq!((read.calls, read.total_ns, read.self_ns), (1, 20, 20));
+        let erase = by_path("gc/gc_round/erase");
+        assert_eq!(erase.total_ns, 40);
+    }
+
+    #[test]
+    fn leaves_prefer_their_context_track() {
+        // Host write [0,100] overlaps gc_round [40,200]; the host-op read
+        // at 50 goes to the host container despite gc_round starting
+        // later, while migrate_read at 60 goes to GC.
+        let spans = vec![
+            span(Track::Host, "write", 0, 100),
+            span(Track::Gc, "gc_round", 40, 200),
+            die("read", 50, 55),
+            die("migrate_read", 60, 70),
+        ];
+        let p = SpanProfile::from_spans(&spans);
+        let paths: Vec<String> = p.rows().iter().map(|r| r.path.clone()).collect();
+        assert!(paths.contains(&"host/write/read".to_string()), "{paths:?}");
+        assert!(paths.contains(&"gc/gc_round/migrate_read".to_string()), "{paths:?}");
+    }
+
+    #[test]
+    fn unattributed_leaves_land_in_root_buckets() {
+        let spans = vec![die("read", 0, 10), instant(Track::Fault, "write_fault", 3)];
+        let p = SpanProfile::from_spans(&spans);
+        let rows = p.rows();
+        assert_eq!(rows[0].path, "fault/write_fault");
+        assert_eq!((rows[0].calls, rows[0].total_ns), (1, 0));
+        assert_eq!(rows[1].path, "flash/read");
+        assert_eq!(rows[1].self_ns, 10);
+    }
+
+    #[test]
+    fn overlapping_same_track_containers_attribute_to_latest_start() {
+        // Two overlapping gc_rounds; erase at ts=50 starts inside both —
+        // the later-starting round owns it.
+        let spans = vec![
+            span(Track::Gc, "gc_round", 0, 60),
+            span(Track::Gc, "gc_slice", 40, 100),
+            die("erase", 50, 90),
+        ];
+        let p = SpanProfile::from_spans(&spans);
+        let rows = p.rows();
+        let slice = rows.iter().find(|r| r.path == "gc/gc_slice/erase").unwrap();
+        assert_eq!(slice.total_ns, 40);
+        assert!(!rows.iter().any(|r| r.path == "gc/gc_round/erase"));
+    }
+
+    #[test]
+    fn nested_containers_reduce_parent_self_time() {
+        // A host write [0,100] fully containing a gc_round [20,80]: the
+        // round's interval is excluded from the write's self time.
+        let spans = vec![
+            span(Track::Host, "write", 0, 100),
+            span(Track::Gc, "gc_round", 20, 80),
+        ];
+        let p = SpanProfile::from_spans(&spans);
+        let rows = p.rows();
+        let write = rows.iter().find(|r| r.path == "host/write").unwrap();
+        assert_eq!(write.self_ns, 40);
+        let round = rows.iter().find(|r| r.path == "gc/gc_round").unwrap();
+        assert_eq!(round.self_ns, 60);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let mut p = SpanProfile::default();
+        for d in [10u64, 20, 30, 40] {
+            p.add("x/y".to_string(), d, d);
+        }
+        let r = &p.rows()[0];
+        assert_eq!((r.min_ns, r.p50_ns, r.p99_ns, r.max_ns), (10, 30, 40, 40));
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    #[test]
+    fn merge_is_exact_and_order_independent() {
+        let a = SpanProfile::from_spans(&[span(Track::Gc, "gc_round", 0, 10), die("erase", 2, 6)]);
+        let b = SpanProfile::from_spans(&[span(Track::Gc, "gc_round", 0, 30), die("erase", 5, 25)]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.to_csv(), ba.to_csv());
+        assert_eq!(ab.flamegraph(), ba.flamegraph());
+        let round = ab.rows().into_iter().find(|r| r.path == "gc/gc_round").unwrap();
+        assert_eq!((round.calls, round.total_ns, round.self_ns), (2, 40, 16));
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_flamegraph_skips_zero_self() {
+        let spans = vec![span(Track::Gc, "gc_round", 0, 10), die("erase", 0, 10)];
+        let p = SpanProfile::from_spans(&spans);
+        assert_eq!(p.to_csv(), SpanProfile::from_spans(&spans).to_csv());
+        // gc_round self is 0 (fully covered) ⇒ absent from the flamegraph.
+        let fg = p.flamegraph();
+        assert_eq!(fg, "gc;gc_round;erase 10\n");
+        assert!(p.to_json().render().starts_with(r#"{"buckets":[{"path":"gc/gc_round""#));
+        assert!(p.render().contains("gc/gc_round/erase"));
+    }
+}

@@ -57,6 +57,13 @@ impl GaugeRegistry {
     pub fn snapshot(&self) -> Vec<(&'static str, Vec<Window>)> {
         self.gauges.iter().map(|(n, s)| (*n, s.windows())).collect()
     }
+
+    /// Every gauge with its raw [`TimeSeries`], in registration order.
+    /// Fleet merging folds these exactly ([`TimeSeries::merge`]) instead
+    /// of re-aggregating the derived per-window floats.
+    pub fn series(&self) -> impl Iterator<Item = (&'static str, &TimeSeries)> {
+        self.gauges.iter().map(|(n, s)| (*n, s))
+    }
 }
 
 impl ToJson for GaugeRegistry {

@@ -30,6 +30,14 @@ impl TelemetryReport {
             "telemetry: {} events recorded, {} dropped (sample 1/{})\n",
             self.events_recorded, self.dropped_events, self.sample
         ));
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "  WARNING: event cap hit — {} events dropped; profiles and \
+                 anatomy from this trace are truncated (raise max_events or \
+                 the sampling stride)\n",
+                self.dropped_events
+            ));
+        }
         for (name, windows) in &self.gauges {
             let last = windows.last();
             out.push_str(&format!(
@@ -85,5 +93,10 @@ mod tests {
         let text = report.render();
         assert!(text.contains("12 events recorded"));
         assert!(text.contains("free_pages"));
+        // Nonzero drop count surfaces a truncation warning…
+        assert!(text.contains("WARNING: event cap hit — 3 events dropped"));
+        // …which disappears entirely when nothing was dropped.
+        let clean = TelemetryReport { dropped_events: 0, ..report };
+        assert!(!clean.render().contains("WARNING"));
     }
 }

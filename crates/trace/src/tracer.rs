@@ -22,6 +22,12 @@ pub struct TraceConfig {
     pub max_events: usize,
     /// Gauge aggregation window width (simulated ns).
     pub counter_window_ns: u64,
+    /// Record span/instant events. `false` turns the tracer into a
+    /// gauges-only sink (the fleet observability plane's mode): the
+    /// windowed registry keeps aggregating while the event buffer — and
+    /// its per-event allocation — stays empty, without counting the
+    /// skipped events as drops.
+    pub record_spans: bool,
 }
 
 impl Default for TraceConfig {
@@ -32,6 +38,21 @@ impl Default for TraceConfig {
             // to tens of MB instead of letting --trace OOM the host.
             max_events: 1 << 20,
             counter_window_ns: 1_000_000, // 1 ms
+            record_spans: true,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A gauges-only configuration: no span/instant events, windowed
+    /// gauges of width `window_ns`, host sampling every `sample`-th
+    /// request. This is what fleet telemetry arms per device.
+    pub fn gauges_only(window_ns: u64, sample: u64) -> Self {
+        Self {
+            sample,
+            max_events: 0,
+            counter_window_ns: window_ns,
+            record_spans: false,
         }
     }
 }
@@ -109,7 +130,7 @@ impl Tracer {
         end_ns: u64,
         args: &[(&'static str, u64)],
     ) {
-        if !self.enabled {
+        if !self.enabled || !self.cfg.record_spans {
             return;
         }
         self.push(Event {
@@ -129,7 +150,7 @@ impl Tracer {
         at_ns: u64,
         args: &[(&'static str, u64)],
     ) {
-        if !self.enabled {
+        if !self.enabled || !self.cfg.record_spans {
             return;
         }
         self.push(Event { track, name, kind: EventKind::Instant { at_ns }, args: args.to_vec() });
@@ -238,6 +259,20 @@ mod tests {
         // sample=0 and sample=1 both mean "everything".
         let mut all = Tracer::enabled(TraceConfig { sample: 0, ..TraceConfig::default() });
         assert!((0..5).all(|_| all.sample_host_op()));
+    }
+
+    #[test]
+    fn gauges_only_mode_skips_events_without_counting_drops() {
+        let mut t = Tracer::enabled(TraceConfig::gauges_only(2_000_000, 16));
+        t.span(Track::Host, "write", 0, 10, &[]);
+        t.instant(Track::Gc, "victim_select", 5, &[]);
+        t.gauge("free_pages", 0, 100);
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped_events(), 0, "skipped spans are not drops");
+        assert_eq!(t.registry().snapshot().len(), 1);
+        // Host sampling still paces gauge emission deterministically.
+        assert!(t.sample_host_op());
+        assert!(!t.sample_host_op());
     }
 
     #[test]

@@ -33,6 +33,27 @@ cmp "$TRACE_TMP/a.json" "$TRACE_TMP/b.json" \
 cmp "$TRACE_TMP/a.jsonl" "$TRACE_TMP/b.jsonl" \
   || { echo "FAIL: same-seed JSONL logs must be byte-identical"; exit 1; }
 
+echo "== smoke: trace analytics (repro inspect: profile, GC anatomy, diff) =="
+# Analyzing the JSONL trace from the gate above must reproduce the
+# committed inspect goldens byte-identically (the profiler folds spans
+# deterministically, and parse -> analyze equals live-replay analyze),
+# and the GC anatomy must account for >= 95% of traced GC wall time.
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --out results --trace "$TRACE_TMP/a.jsonl" inspect > /dev/null
+git diff --exit-code -- results/inspect_profile.csv results/inspect_anatomy.csv results/inspect_flame.txt \
+  || { echo "FAIL: repro inspect must regenerate its goldens byte-identical"; exit 1; }
+accounted="$(awk -F, '/^total,/{print $6}' results/inspect_anatomy.csv)"
+[ "$accounted" -ge 950 ] \
+  || { echo "FAIL: GC anatomy accounts for only ${accounted} permille of GC wall time (< 950)"; exit 1; }
+# Trace diff: preemption on vs off must show up as per-phase deltas.
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --smoke --preempt --trace "$TRACE_TMP/p.json" > /dev/null
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --out "$TRACE_TMP/insp" --diff "$TRACE_TMP/a.jsonl" "$TRACE_TMP/p.jsonl" inspect \
+  | grep "GC anatomy diff"
+grep -q "^gc_wall," "$TRACE_TMP/insp/inspect_diff.csv" \
+  || { echo "FAIL: inspect --diff must report a gc_wall delta row"; exit 1; }
+
 echo "== smoke: trim sensitivity (asserts honoring < ignoring) =="
 cargo run --release --offline --example trim_sensitivity -- --smoke
 
@@ -71,6 +92,17 @@ cmp "$TRACE_TMP/fleet1/sweep_fleet.csv" "$TRACE_TMP/fleet2/sweep_fleet.csv" \
   || { echo "FAIL: sweep_fleet.csv must be byte-identical across worker counts"; exit 1; }
 cmp "$TRACE_TMP/fleet1/fleet_qos.csv" "$TRACE_TMP/fleet2/fleet_qos.csv" \
   || { echo "FAIL: fleet_qos.csv must be byte-identical across worker counts"; exit 1; }
+cmp "$TRACE_TMP/fleet1/fleet_timeline.csv" "$TRACE_TMP/fleet2/fleet_timeline.csv" \
+  || { echo "FAIL: fleet_timeline.csv must be byte-identical across worker counts"; exit 1; }
+
+echo "== smoke: observability is pay-as-you-go (default sweep-fleet vs goldens) =="
+# The observability cell arms gauges + SLO tracking for one fleet; every
+# other grid cell stays untraced and must keep regenerating the committed
+# sweep-fleet goldens byte-identically (docs/OBSERVABILITY.md).
+cargo run --release --offline -p cagc-bench --bin repro -- \
+  --out results sweep-fleet > /dev/null
+git diff --exit-code -- results/sweep_fleet.csv results/fleet_qos.csv results/fleet_timeline.csv \
+  || { echo "FAIL: sweep-fleet must regenerate its goldens byte-identical with observability armed"; exit 1; }
 
 echo "== smoke: chaos campaign (graceful degradation + worker-count byte-determinism) =="
 # The sweep asserts its own gates (zero-fault cells byte-identical to a
